@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper artifact (table or figure), times
+it with pytest-benchmark, and records the rendered rows both to stdout
+(visible with ``-s``) and to ``benchmarks/output/<EXP-ID>.txt`` so the
+reproduced numbers are always inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentTable, render_table
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Render, print and persist an :class:`ExperimentTable`."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _record(table: ExperimentTable) -> ExperimentTable:
+        text = render_table(table)
+        print()
+        print(text)
+        path = OUTPUT_DIR / f"{table.experiment_id}.txt"
+        path.write_text(text + "\n")
+        return table
+
+    return _record

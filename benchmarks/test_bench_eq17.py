@@ -1,0 +1,33 @@
+"""EXP-E17 benchmark: the delay cost of RC-based repeater insertion.
+
+Regenerates the eq. 17 curve three ways (closed form, model-based
+eq. 16, ladder-simulated) and asserts the paper's anchors on the closed
+form plus the qualitative shape on the independent evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import eq17
+
+
+def test_bench_eq17(benchmark, record_table):
+    table = benchmark.pedantic(
+        eq17.run,
+        kwargs={"tlr_values": np.array([0.5, 1.0, 3.0, 5.0, 10.0])},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    closed = dict(zip(table.column("T_L/R"), table.column("eq17_%")))
+    # Paper's quoted anchors.
+    assert abs(closed[3.0] - 10.0) < 0.5
+    assert abs(closed[5.0] - 20.0) < 0.5
+    assert abs(closed[10.0] - 28.0) < 1.5  # paper rounds to 30%
+    # Both independent evaluations grow monotonically from ~0.
+    for column in ("model_%", "simulated_%"):
+        series = table.column(column)
+        assert series[0] < 2.0
+        assert all(b >= a - 0.5 for a, b in zip(series, series[1:]))
+        assert series[-1] > 5.0

@@ -1,0 +1,25 @@
+"""EXP-E18 benchmark: repeater area and power cost of the RC model.
+
+Regenerates the eq. 18 curve and the power-penalty columns; asserts the
+paper's 154% / 435% anchors.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import eq18
+
+
+def test_bench_eq18(benchmark, record_table):
+    table = benchmark.pedantic(eq18.run, rounds=1, iterations=1)
+    record_table(table)
+    closed = dict(zip(table.column("T_L/R"), table.column("eq18_area_%")))
+    assert abs(closed[3.0] - 154.0) < 1.0
+    assert abs(closed[5.0] - 435.0) < 1.5
+    # Repeater-only power equals the area penalty; wire-inclusive power
+    # is strictly smaller but still grows with T.
+    rep = table.column("power_rep_%")
+    tot = table.column("power_tot_%")
+    area = table.column("eq18_area_%")
+    assert all(abs(p - a) < 0.5 for p, a in zip(rep, area))
+    assert all(t < a + 1e-9 for t, a in zip(tot, area))
+    assert all(b >= a for a, b in zip(tot, tot[1:]))

@@ -1,0 +1,24 @@
+"""EXP-F4 benchmark: regenerate Fig. 4 (h' and k' vs T_{L/R}).
+
+Times the numerical optimization sweep behind the figure and records
+both our optimizer's curves and the paper's closed-form fits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark, record_table):
+    table = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    record_table(table)
+    h_num = table.column("h'_num")
+    k_num = table.column("k'_num")
+    h_fit = table.column("h'_eq14")
+    k_fit = table.column("k'_eq15")
+    # Monotone decay from ~1 in every curve; k' below h' throughout.
+    for series in (h_num, k_num, h_fit, k_fit):
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+        assert series[0] > 0.99
+    assert all(k <= h + 1e-9 for h, k in zip(h_num, k_num))
+    assert all(k <= h + 1e-9 for h, k in zip(h_fit, k_fit))

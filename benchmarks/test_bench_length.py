@@ -1,0 +1,23 @@
+"""EXP-X1 benchmark: quadratic-to-linear length dependence.
+
+Regenerates the Section II text claim as a table: fitted log-log
+exponents in short/long windows for three inductance levels.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import length_dependence
+
+
+def test_bench_length_dependence(benchmark, record_table):
+    table = benchmark.pedantic(length_dependence.run, rounds=1, iterations=1)
+    record_table(table)
+    rows = {row[0]: row for row in table.rows}
+    rc_like = rows["1e-06x L"]
+    nominal = rows["1x L"]
+    # RC modeling convention: quadratic everywhere.
+    assert abs(rc_like[1] - 2.0) < 0.05 and abs(rc_like[2] - 2.0) < 0.05
+    # Real inductance: linear (flight-limited) below the crossover.
+    assert abs(nominal[1] - 1.0) < 0.1
+    # Crossover length grows with inductance.
+    assert rows["10x L"][3] > nominal[3]

@@ -1,0 +1,25 @@
+"""EXP-X4 benchmark: penalties across technology nodes.
+
+The paper's closing scaling argument as a table: T_{L/R} and the
+closed-form penalties per synthetic node, with the 0.25 um anchor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import scaling
+
+
+def test_bench_scaling(benchmark, record_table):
+    table = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+    record_table(table)
+    rows = {row[0]: row for row in table.rows}
+    # Paper anchor: T ~= 5 at 0.25 um.
+    assert abs(rows["250nm"][2] - 5.5) < 1.0
+    # Copper nodes: penalties rise monotonically with scaling.
+    copper = [rows[n] for n in ("250nm", "180nm", "130nm", "100nm", "70nm")]
+    tlrs = [r[2] for r in copper]
+    delays = [r[3] for r in copper]
+    areas = [r[4] for r in copper]
+    assert all(b > a for a, b in zip(tlrs, tlrs[1:]))
+    assert all(b >= a for a, b in zip(delays, delays[1:]))
+    assert all(b > a for a, b in zip(areas, areas[1:]))

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the three simulator routes and the core math.
+
+Not a paper artifact: these measure the library itself, so performance
+regressions in the substrates are visible (the experiment benches would
+only show them indirectly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.delay import propagation_delay, scaled_delay
+from repro.core.repeater import Buffer, numerical_optimal_design
+from repro.core.simulate import simulated_delay_50
+
+LINE = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+
+
+class TestSimulatorRoutes:
+    @pytest.mark.parametrize("route,n", [("statespace", 100), ("mna", 40)])
+    def test_bench_ladder_route(self, benchmark, route, n):
+        t50 = benchmark.pedantic(
+            simulated_delay_50,
+            args=(LINE,),
+            kwargs={"route": route, "n_segments": n, "n_samples": 2001},
+            rounds=3,
+            iterations=1,
+        )
+        assert 1.0e-9 < t50 < 1.15e-9
+
+    def test_bench_tline_route(self, benchmark):
+        t50 = benchmark.pedantic(
+            simulated_delay_50,
+            args=(LINE,),
+            kwargs={"route": "tline", "n_samples": 2001},
+            rounds=3,
+            iterations=1,
+        )
+        assert 1.0e-9 < t50 < 1.15e-9
+
+
+class TestCoreMath:
+    def test_bench_eq9_scalar(self, benchmark):
+        result = benchmark(propagation_delay, LINE)
+        assert result > 0
+
+    def test_bench_eq9_vectorized(self, benchmark):
+        z = np.linspace(0.01, 5.0, 100_000)
+        result = benchmark(scaled_delay, z)
+        assert result.shape == z.shape
+
+    def test_bench_repeater_optimization(self, benchmark):
+        line = DriverLineLoad(rt=500.0, lt=125e-9, ct=10e-12)
+        buffer = Buffer(r0=5000.0, c0=1e-14)
+        design = benchmark.pedantic(
+            numerical_optimal_design, args=(line, buffer), rounds=3, iterations=1
+        )
+        assert design.h > 0 and design.k > 0

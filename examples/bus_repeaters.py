@@ -1,0 +1,92 @@
+"""Repeater planning for an on-chip bus: when must you model inductance?
+
+Walks a 32-bit bus through the design questions the paper answers:
+
+1. Is this net inductive at all?  (The length-window criterion of the
+   companion paper [8].)
+2. What does an RC-only flow get wrong?  (Delay vs simulation.)
+3. How many repeaters, how big?  (Eq. 11 vs eqs. 14/15, with the
+   delay/area/power penalty of choosing the RC answer.)
+
+Run:  python examples/bus_repeaters.py
+"""
+
+from repro.analysis.merit import inductance_length_window
+from repro.core.delay import propagation_delay
+from repro.core.penalty import area_increase_closed_form, delay_increase_closed_form
+from repro.core.repeater import (
+    RepeaterSystem,
+    bakoglu_rc_design,
+    inductance_time_ratio,
+    optimal_rlc_design,
+)
+from repro.core.baselines import sakurai_rc_delay_50
+from repro.core.simulate import simulated_delay_50
+from repro.technology.nodes import node_by_name
+from repro.units import format_si
+
+
+def main() -> None:
+    node = node_by_name("130nm")
+    buffer = node.min_buffer()
+    r, l, c = node.wire_rlc("global")
+
+    # 1. Which bus lengths need RLC modeling at this node?
+    window = inductance_length_window(r, l, c, node.rise_time)
+    print(f"node {node.name}: inductance matters for wires between "
+          f"{window.lower * 1e3:.2f} mm and {window.upper * 1e3:.1f} mm "
+          f"(driver rise time {format_si(node.rise_time, 's')})")
+
+    for length_mm in (1.0, 8.0, 20.0):
+        length = length_mm * 1e-3
+        # Size the driver to the wire (RT ~ 0.4, capped at a realistic
+        # h = 400), as a routed flow would: eq. 9 was fitted for RT, CT
+        # in [0, 1], and short wires get driver-dominated (RC) anyway.
+        bare = node.line(length)
+        driver_size = min(400.0, buffer.r0 / (0.4 * bare.rt))
+        line = node.line(length, driver_size=driver_size, load_size=80.0)
+        needs_rlc = window.contains(length)
+        t_rlc = propagation_delay(line)
+        t_rc = sakurai_rc_delay_50(line)
+        t_sim = simulated_delay_50(line, route="tline")
+        print(
+            f"  {length_mm:5.1f} mm (driver h={driver_size:4.0f}): "
+            f"RLC model {format_si(t_rlc, 's'):>9s} "
+            f"(sim {format_si(t_sim, 's'):>9s}, err "
+            f"{100 * abs(t_rlc - t_sim) / t_sim:4.1f}%) | RC-only "
+            f"{format_si(t_rc, 's'):>9s} ({100 * (t_rc - t_sim) / t_sim:+5.1f}%)"
+            f" | inductive: {'yes' if needs_rlc else 'no'}"
+        )
+
+    print(
+        "  (the window criterion assumes the node's finite rise time; the\n"
+        "   simulation column drives an ideal step, so even 'no' rows show\n"
+        "   flight-limited delay that RC models miss)"
+    )
+
+    # 2. Repeater the long bus line, both ways, per bit and for the bus.
+    length = 20e-3
+    line = node.line(length)
+    tlr = inductance_time_ratio(line, buffer)
+    system = RepeaterSystem(line, buffer)
+    rc = bakoglu_rc_design(line, buffer)
+    rlc = optimal_rlc_design(line, buffer)
+
+    print(f"\n20 mm bus bit, T_L/R = {tlr:.1f}:")
+    print(f"  RC sizing  : h = {rc.h:.0f}, k = {rc.k:.1f}")
+    print(f"  RLC sizing : h = {rlc.h:.0f}, k = {rlc.k:.1f}")
+    print(f"  closed-form penalties for the RC choice: "
+          f"{delay_increase_closed_form(tlr):.0f}% delay, "
+          f"{area_increase_closed_form(tlr):.0f}% repeater area")
+
+    bits = 32
+    area_saved = bits * (rc.area(buffer) - rlc.area(buffer))
+    p_rc = system.dynamic_power(rc.quantized(), node.vdd, 2e9, activity=0.3)
+    p_rlc = system.dynamic_power(rlc.quantized(), node.vdd, 2e9, activity=0.3)
+    print(f"  across {bits} bits: {area_saved:.0f} min-buffer-areas saved, "
+          f"bus repeater power {format_si(bits * p_rc, 'W')} -> "
+          f"{format_si(bits * p_rlc, 'W')} at 2 GHz / 0.3 activity")
+
+
+if __name__ == "__main__":
+    main()

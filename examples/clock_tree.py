@@ -1,0 +1,75 @@
+"""Clock-spine design study: repeaters on a low-resistance global wire.
+
+Clock distribution uses exactly the wires where the paper says
+inductance bites hardest: wide, thick, upper-metal, low-R.  This example
+sizes repeaters for an H-tree trunk three ways (RC, paper's closed form,
+our numerical optimum), then *simulates* every candidate and reports
+delay, area, power and skew-relevant rise time.
+
+Run:  python examples/clock_tree.py
+"""
+
+from repro.analysis.comparison import compare_designs
+from repro.core.repeater import RepeaterSystem, inductance_time_ratio
+from repro.core.simulate import simulated_step_waveform
+from repro.technology.nodes import node_by_name
+from repro.units import format_si
+
+
+def main() -> None:
+    node = node_by_name("250nm")
+    buffer = node.min_buffer()
+
+    # A 40 mm H-tree trunk on the thick global layer.
+    trunk = node.line(40e-3, layer="global")
+    tlr = inductance_time_ratio(trunk, buffer)
+
+    print(f"technology              : {node.name} (R0*C0 = "
+          f"{format_si(node.intrinsic_delay, 's')})")
+    r, l, c = node.wire_rlc("global")
+    print(f"global wire             : R = {r / 1e3:.2f} ohm/mm, "
+          f"L = {l * 1e6:.3f} nH/mm, C = {c * 1e9:.3f} pF/mm")
+    print(f"trunk                   : 40 mm, Rt = {trunk.rt:.0f} ohm, "
+          f"Lt = {format_si(trunk.lt, 'H')}, Ct = {format_si(trunk.ct, 'F')}")
+    print(f"T_L/R                   : {tlr:.1f}  "
+          "(paper: ~5 is 'common for a current 0.25 um technology')\n")
+
+    results = compare_designs(trunk, buffer, simulate=True, n_segments=60)
+    by_label = {r.label: r for r in results}
+
+    print(f"{'design':16s} {'h':>6s} {'k':>5s} {'model delay':>12s} "
+          f"{'sim delay':>12s} {'area':>7s} {'power @1GHz':>12s}")
+    system = RepeaterSystem(trunk, buffer)
+    for result in results:
+        power = system.dynamic_power(
+            result.design.quantized(), vdd=node.vdd, frequency=1e9
+        )
+        print(
+            f"{result.label:16s} {result.design.h:6.1f} {result.design.k:5.1f} "
+            f"{format_si(result.model_delay, 's'):>12s} "
+            f"{format_si(result.simulated_delay, 's'):>12s} "
+            f"{result.area:7.0f} {format_si(power, 'W'):>12s}"
+        )
+
+    rc = by_label["rc-bakoglu"]
+    best = min(
+        (by_label["rlc-paper"], by_label["rlc-numerical"]),
+        key=lambda r: r.simulated_delay,
+    )
+    print(
+        f"\nRC-based sizing costs {rc.delay_vs(best):+.1f}% simulated delay and "
+        f"{rc.area_vs(best):+.0f}% repeater area vs the best RLC-aware design."
+    )
+
+    # Edge quality at the receiving end of one optimally driven section.
+    section = system.section_line(best.design.quantized())
+    waveform = simulated_step_waveform(section, n_segments=60)
+    print(
+        f"per-section edge        : rise time "
+        f"{format_si(waveform.rise_time(v_final=1.0), 's')}, overshoot "
+        f"{100 * waveform.overshoot(v_final=1.0):.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Crosstalk on coupled global wires: noise and switching-window study.
+
+The wires whose self-inductance breaks RC delay models (this paper) also
+couple to their neighbors.  This example sweeps the spacing of a
+parallel pair on the 250 nm global layer and simulates, per spacing:
+
+- the glitch injected onto a quiet victim (and its polarity -- positive
+  spikes are capacitive, negative far-end dips are inductive),
+- the aggressor's 50% delay when the victim is quiet / switching with
+  it (even) / switching against it (odd).
+
+On these low-R wires the odd mode is *faster* (loop inductance
+L*(1 - k) wins over Miller capacitance) -- the reverse of the RC-world
+rule of thumb.
+
+Run:  python examples/crosstalk.py
+"""
+
+from repro.analysis.crosstalk import analyze_crosstalk
+from repro.spice.coupled import CoupledLadderSpec
+from repro.technology.nodes import node_by_name
+from repro.technology.parasitics import coupling_capacitance_per_length
+from repro.units import format_si
+
+
+def coupling_for_spacing(node, spacing: float, length: float) -> tuple[float, float]:
+    """Total coupling cap and a spacing-decaying inductive coefficient."""
+    geometry = node.global_wire
+    cc = coupling_capacitance_per_length(
+        geometry.thickness, spacing, geometry.eps_r
+    ) * length
+    # Mutual coupling falls off slowly (log-like) with pitch; use a
+    # simple decaying model anchored at k ~ 0.6 for minimum spacing.
+    pitch = spacing + geometry.width
+    km = 0.6 / (1.0 + pitch / (4.0 * geometry.width))
+    return cc, km
+
+
+def main() -> None:
+    node = node_by_name("250nm")
+    length = 10e-3  # 10 mm parallel run
+    r, l, c = node.wire_rlc("global")
+    driver = node.r0 / 150.0  # strong h=150 drivers on both lines
+
+    print(f"coupled pair: 10 mm on the {node.name} global layer, "
+          f"h=150 drivers ({driver:.0f} ohm)")
+    print(f"{'spacing':>8s} {'Cc_total':>9s} {'km':>5s} "
+          f"{'victim +noise':>13s} {'victim -noise':>13s} "
+          f"{'t50 quiet':>10s} {'t50 even':>9s} {'t50 odd':>9s}")
+
+    for spacing_um in (0.6, 1.0, 2.0, 4.0):
+        spacing = spacing_um * 1e-6
+        cct, km = coupling_for_spacing(node, spacing, length)
+        spec = CoupledLadderSpec(
+            rt=r * length,
+            lt=l * length,
+            ct=c * length,
+            cct=cct,
+            km=km,
+            rtr_aggressor=driver,
+            rtr_victim=driver,
+            cl=node.c0 * 150.0,
+            n_segments=24,
+        )
+        report = analyze_crosstalk(spec)
+        print(
+            f"{spacing_um:7.1f}u {format_si(cct, 'F'):>9s} {km:5.2f} "
+            f"{100 * report.victim_peak_noise:12.1f}% "
+            f"{100 * report.victim_min_noise:12.1f}% "
+            f"{format_si(report.aggressor_delay_quiet, 's'):>10s} "
+            f"{format_si(report.aggressor_delay_even, 's'):>9s} "
+            f"{format_si(report.aggressor_delay_odd, 's'):>9s}"
+        )
+
+    print("\nNote the regime crossover: at minimum spacing the huge coupling")
+    print("capacitance Miller-dominates and the odd mode is SLOWEST (the RC")
+    print("rule of thumb); by 2 um the inductive coupling has taken over and")
+    print("the odd mode arrives FIRST, riding L*(1 - km).  Negative far-end")
+    print("dips growing with spacing are the inductive signature.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""repro -- reproduction of Ismail & Friedman, DAC 1999.
+
+*Effects of Inductance on the Propagation Delay and Repeater Insertion
+in VLSI Circuits.*
+
+The package provides, from scratch:
+
+- the paper's closed-form RLC delay model and repeater-insertion theory
+  (:mod:`repro.core`),
+- three independent circuit-simulation substrates standing in for the
+  AS/X dynamic simulator used in the paper (:mod:`repro.tline`,
+  :mod:`repro.spice`),
+- a technology layer replacing the proprietary 0.25 um process data
+  (:mod:`repro.technology`),
+- analyses and experiment drivers regenerating every table and figure
+  (:mod:`repro.analysis`, :mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import DriverLineLoad, propagation_delay
+>>> line = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12,
+...                       rtr=100.0, cl=1e-13)
+>>> round(propagation_delay(line) * 1e12)   # ps; paper Table 1: 1062
+1061
+"""
+
+from repro.core.canonical import DriverLineLoad, omega_n, zeta
+from repro.core.delay import (
+    lc_limit_delay,
+    propagation_delay,
+    rc_limit_delay,
+    scaled_delay,
+    time_of_flight,
+)
+from repro.core.baselines import sakurai_rc_delay_50
+from repro.core.moments import elmore_delay, elmore_delay_50, two_pole_delay_50
+from repro.core.penalty import (
+    area_increase_closed_form,
+    delay_increase_closed_form,
+    delay_increase_numerical,
+    power_increase,
+)
+from repro.core.awe import awe_delay_50, awe_reduce
+from repro.core.repeater import (
+    Buffer,
+    RepeaterDesign,
+    RepeaterSystem,
+    bakoglu_rc_design,
+    error_factors,
+    inductance_time_ratio,
+    numerical_optimal_design,
+    optimal_rlc_design,
+    practical_design,
+)
+from repro.core.risetime import rise_time_10_90, scaled_rise_time
+from repro.core.simulate import SimulatorRoute, simulated_delay_50, simulated_step_waveform
+from repro.errors import (
+    AnalysisError,
+    ConvergenceError,
+    NetlistError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # circuit + canonical variables
+    "DriverLineLoad",
+    "omega_n",
+    "zeta",
+    # delay models
+    "scaled_delay",
+    "propagation_delay",
+    "rc_limit_delay",
+    "lc_limit_delay",
+    "time_of_flight",
+    "sakurai_rc_delay_50",
+    "elmore_delay",
+    "elmore_delay_50",
+    "two_pole_delay_50",
+    # repeater insertion
+    "Buffer",
+    "RepeaterDesign",
+    "RepeaterSystem",
+    "bakoglu_rc_design",
+    "optimal_rlc_design",
+    "numerical_optimal_design",
+    "practical_design",
+    "error_factors",
+    "inductance_time_ratio",
+    "awe_reduce",
+    "awe_delay_50",
+    "rise_time_10_90",
+    "scaled_rise_time",
+    # penalties
+    "delay_increase_closed_form",
+    "delay_increase_numerical",
+    "area_increase_closed_form",
+    "power_increase",
+    # simulation
+    "SimulatorRoute",
+    "simulated_delay_50",
+    "simulated_step_waveform",
+    # errors
+    "ReproError",
+    "ParameterError",
+    "ConvergenceError",
+    "SimulationError",
+    "NetlistError",
+    "AnalysisError",
+]

@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate any reproduced artifact.
+
+Usage::
+
+    python -m repro list                # show the experiment registry
+    python -m repro run EXP-E18         # regenerate one table/figure
+    python -m repro run all             # regenerate everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY, render_table
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in REGISTRY)
+    for exp_id, module in REGISTRY.items():
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{exp_id:<{width}}  {summary}")
+    return 0
+
+
+def _cmd_run(exp_id: str) -> int:
+    if exp_id == "all":
+        for key in REGISTRY:
+            print(render_table(REGISTRY[key].run()))
+            print()
+        return 0
+    module = REGISTRY.get(exp_id.upper())
+    if module is None:
+        known = ", ".join(REGISTRY)
+        print(f"unknown experiment {exp_id!r}; known: {known}", file=sys.stderr)
+        return 2
+    print(render_table(module.run()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of Ismail & Friedman (DAC 1999): "
+        "regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the experiment registry")
+    run_parser = sub.add_parser("run", help="regenerate one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. EXP-T1")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.experiment)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""When does on-chip inductance matter?  (Companion paper [8] criterion.)
+
+Ismail, Friedman & Neves (DAC 1998) give a length window outside which an
+RC model suffices: transmission-line behaviour requires the wire to be
+
+- *long enough* that the signal rise time fits inside the round trip:
+  ``l > tr / (2 * sqrt(L*C))``, and
+- *short enough* that resistive attenuation has not killed the wave:
+  ``l < (2 / R) * sqrt(L / C)``.
+
+The window closes entirely (no length exhibits inductive behaviour) when
+``tr > 4 * L / R`` -- slow drivers never see the inductance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import require_positive
+
+__all__ = ["InductanceWindow", "inductance_length_window", "inductance_matters"]
+
+
+@dataclass(frozen=True)
+class InductanceWindow:
+    """The [8] length window for one wire geometry and rise time.
+
+    ``lower``/``upper`` in meters; the window is empty when
+    ``lower >= upper``.
+    """
+
+    lower: float
+    upper: float
+
+    @property
+    def exists(self) -> bool:
+        """True when some length exhibits significant inductance."""
+        return self.lower < self.upper
+
+    def contains(self, length: float) -> bool:
+        """Is this wire length inside the inductive window?"""
+        return self.exists and self.lower < length < self.upper
+
+
+def inductance_length_window(
+    r: float, l: float, c: float, rise_time: float
+) -> InductanceWindow:
+    """Length window where inductance must be modeled (per [8]).
+
+    Parameters are per-unit-length ``r`` (ohm/m), ``l`` (H/m), ``c``
+    (F/m) and the driver ``rise_time`` (s).
+    """
+    require_positive("r", r)
+    require_positive("l", l)
+    require_positive("c", c)
+    require_positive("rise_time", rise_time)
+    lower = rise_time / (2.0 * math.sqrt(l * c))
+    upper = (2.0 / r) * math.sqrt(l / c)
+    return InductanceWindow(lower=lower, upper=upper)
+
+
+def inductance_matters(
+    r: float, l: float, c: float, length: float, rise_time: float
+) -> bool:
+    """Should this net be modeled as RLC rather than RC?
+
+    >>> inductance_matters(r=2000.0, l=3e-7, c=1.8e-10,
+    ...                    length=0.01, rise_time=5e-11)
+    True
+    """
+    require_positive("length", length)
+    return inductance_length_window(r, l, c, rise_time).contains(length)

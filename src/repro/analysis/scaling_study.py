@@ -1,0 +1,59 @@
+"""Technology scaling and the growing cost of ignoring inductance.
+
+The paper's closing argument: ``T_{L/R} = (Lt/Rt)/(R0*C0)`` rises as the
+gate time constant ``R0*C0`` shrinks, so every penalty in Section III
+worsens with each technology generation.  This study walks the synthetic
+node table and evaluates ``T_{L/R}`` and the closed-form delay/area
+penalties on a fixed global-wire geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.penalty import (
+    area_increase_closed_form,
+    delay_increase_closed_form,
+)
+from repro.technology.nodes import PREDEFINED_NODES, TechnologyNode
+
+__all__ = ["ScalingRow", "scaling_table"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """Penalties for one technology node."""
+
+    node: str
+    feature_size: float
+    intrinsic_delay: float
+    tlr: float
+    delay_increase_percent: float
+    area_increase_percent: float
+
+
+def scaling_table(
+    nodes: Sequence[TechnologyNode] = PREDEFINED_NODES,
+    layer: str = "global",
+) -> list[ScalingRow]:
+    """Evaluate the scaling trend across the node table.
+
+    >>> rows = scaling_table()
+    >>> all(b.tlr >= a.tlr for a, b in zip(rows[1:], rows[2:]))  # Cu nodes
+    True
+    """
+    rows = []
+    for node in nodes:
+        tlr = node.tlr(layer=layer)
+        rows.append(
+            ScalingRow(
+                node=node.name,
+                feature_size=node.feature_size,
+                intrinsic_delay=node.intrinsic_delay,
+                tlr=tlr,
+                delay_increase_percent=float(delay_increase_closed_form(tlr)),
+                area_increase_percent=float(area_increase_closed_form(tlr)),
+            )
+        )
+    return rows

@@ -1,0 +1,52 @@
+"""Delay sensitivity to each of the five impedances.
+
+Elasticities ``(param / t_pd) * d(t_pd)/d(param)`` quantify which knob
+moves the delay: in the RC regime the delay is degree-2 homogeneous in
+``(R, C)`` and insensitive to ``L``; in the LC regime it is degree-1/2 in
+``L`` and ``C`` and insensitive to ``R``.  The elasticities therefore
+sum to ~2 in the RC limit and ~1 in the LC limit -- a compact signature
+of the quadratic-to-linear transition that the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.delay import propagation_delay
+from repro.errors import ParameterError
+
+__all__ = ["delay_elasticities"]
+
+_FIELDS = ("rt", "lt", "ct", "rtr", "cl")
+
+
+def delay_elasticities(
+    line: DriverLineLoad,
+    relative_step: float = 1e-4,
+    delay_function=propagation_delay,
+) -> dict[str, float]:
+    """Central-difference elasticity of the delay w.r.t. each impedance.
+
+    Parameters with value zero are skipped (elasticity 0 by convention).
+
+    >>> line = DriverLineLoad(rt=1000.0, lt=1e-9, ct=1e-12)
+    >>> e = delay_elasticities(line)
+    >>> abs(e['rt'] - 1.0) < 0.05 and abs(e['ct'] - 1.0) < 0.05
+    True
+    """
+    if not 0 < relative_step < 0.1:
+        raise ParameterError(f"relative_step must be in (0, 0.1), got {relative_step}")
+    base = delay_function(line)
+    if base <= 0:
+        raise ParameterError("baseline delay must be positive")
+    out: dict[str, float] = {}
+    for name in _FIELDS:
+        value = getattr(line, name)
+        if value == 0:
+            out[name] = 0.0
+            continue
+        up = delay_function(replace(line, **{name: value * (1 + relative_step)}))
+        down = delay_function(replace(line, **{name: value * (1 - relative_step)}))
+        out[name] = (up - down) / (2.0 * relative_step * base)
+    return out

@@ -1,0 +1,101 @@
+"""How completely ``zeta`` captures the five impedances (Fig. 2).
+
+The paper argues the scaled delay ``t'_pd`` is "primarily a function of
+zeta", with only weak residual dependence on RT and CT -- especially for
+``RT, CT in [0, 1]``, the range of global interconnect.  This module
+quantifies that collapse: at fixed ``zeta`` it sweeps an (RT, CT) grid,
+measures the *simulated* scaled delay for each combination, and reports
+the spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.delay import scaled_delay
+from repro.core.simulate import simulated_delay_50
+from repro.errors import ParameterError
+
+__all__ = ["CollapsePoint", "collapse_spread"]
+
+
+@dataclass(frozen=True)
+class CollapsePoint:
+    """Spread of scaled delay at one ``zeta``.
+
+    Attributes
+    ----------
+    zeta:
+        The damping factor held fixed.
+    minimum, maximum, mean:
+        Statistics of the simulated ``t'_pd`` across the (RT, CT) grid.
+    model:
+        The eq. 9 prediction at this ``zeta``.
+    """
+
+    zeta: float
+    minimum: float
+    maximum: float
+    mean: float
+    model: float
+
+    @property
+    def spread_percent(self) -> float:
+        """``100 * (max - min) / mean`` -- the residual RT/CT dependence."""
+        return 100.0 * (self.maximum - self.minimum) / self.mean
+
+    @property
+    def max_model_error_percent(self) -> float:
+        """Worst-case eq. 9 error across the grid at this ``zeta``."""
+        worst = max(
+            abs(self.model - self.minimum), abs(self.model - self.maximum)
+        )
+        return 100.0 * worst / self.mean
+
+
+def collapse_spread(
+    zeta_values,
+    ratio_grid=(0.0, 0.25, 0.5, 1.0),
+    route: str = "tline",
+    n_segments: int = 80,
+) -> list[CollapsePoint]:
+    """Measure the ``t'_pd`` spread over (RT, CT) at each ``zeta``.
+
+    Parameters
+    ----------
+    zeta_values:
+        Damping factors to probe.
+    ratio_grid:
+        Values used for both RT and CT (full cross product).
+    route, n_segments:
+        Simulator settings (see :mod:`repro.core.simulate`).
+    """
+    zeta_values = np.atleast_1d(np.asarray(zeta_values, dtype=float))
+    if np.any(zeta_values <= 0):
+        raise ParameterError("zeta values must be positive")
+    points = []
+    for z in zeta_values:
+        samples = []
+        for r_ratio in ratio_grid:
+            for c_ratio in ratio_grid:
+                line = DriverLineLoad.for_zeta(
+                    z, r_ratio=r_ratio, c_ratio=c_ratio
+                )
+                t50 = simulated_delay_50(
+                    line, route=route, n_segments=n_segments
+                )
+                samples.append(t50 * line.omega_n)
+        arr = np.array(samples)
+        points.append(
+            CollapsePoint(
+                zeta=float(z),
+                minimum=float(arr.min()),
+                maximum=float(arr.max()),
+                mean=float(arr.mean()),
+                model=float(scaled_delay(z)),
+            )
+        )
+    return points

@@ -1,0 +1,61 @@
+"""The paper's contribution: RLC delay model and repeater insertion.
+
+- :mod:`repro.core.canonical`  -- the Fig. 1 circuit object and the
+  canonical variables ``RT``, ``CT``, ``omega_n``, ``zeta`` (eqs. 3, 5, 6),
+- :mod:`repro.core.delay`      -- the closed-form 50% delay (eq. 9) with
+  its RC/LC limits,
+- :mod:`repro.core.moments`    -- Elmore and two-pole moment-matching
+  baselines computed from the exact transfer-function series (eq. 7),
+- :mod:`repro.core.baselines`  -- Sakurai's RC formula, time of flight,
+- :mod:`repro.core.repeater`   -- repeater systems (Fig. 3), section math
+  (eqs. 19-22), Bakoglu RC optimum (eq. 11), the RLC closed forms
+  (eqs. 13-15) and the numerical optimum (eq. 10 / Fig. 4),
+- :mod:`repro.core.penalty`    -- the cost of ignoring inductance
+  (eqs. 16-18): delay, area and power penalties,
+- :mod:`repro.core.fitting`    -- the curve-fitting methodology used to
+  produce eqs. 9, 14, 15 and 17, reproducible on our own simulators.
+"""
+
+from repro.core.canonical import DriverLineLoad, omega_n, zeta
+from repro.core.delay import (
+    propagation_delay,
+    rc_limit_delay,
+    scaled_delay,
+    time_of_flight,
+)
+from repro.core.repeater import (
+    Buffer,
+    RepeaterDesign,
+    RepeaterSystem,
+    bakoglu_rc_design,
+    error_factors,
+    inductance_time_ratio,
+    optimal_rlc_design,
+    numerical_optimal_design,
+)
+from repro.core.penalty import (
+    area_increase_closed_form,
+    delay_increase_closed_form,
+    delay_increase_numerical,
+)
+
+__all__ = [
+    "DriverLineLoad",
+    "omega_n",
+    "zeta",
+    "scaled_delay",
+    "propagation_delay",
+    "rc_limit_delay",
+    "time_of_flight",
+    "Buffer",
+    "RepeaterDesign",
+    "RepeaterSystem",
+    "bakoglu_rc_design",
+    "optimal_rlc_design",
+    "numerical_optimal_design",
+    "error_factors",
+    "inductance_time_ratio",
+    "delay_increase_closed_form",
+    "delay_increase_numerical",
+    "area_increase_closed_form",
+]

@@ -1,0 +1,154 @@
+"""Asymptotic Waveform Evaluation: arbitrary-order moment matching.
+
+The strongest pre-existing alternative to the paper's closed form:
+AWE (Pillage & Rohrer, 1990) matches the first ``2q`` Maclaurin moments
+of the transfer function with a ``q``-pole reduced-order model
+
+    H(s) ~= sum_j  r_j / (s - p_j),
+
+then reads timing off the analytic step response.  It is exact for
+lumped RC trees at modest order but famously fragile as ``q`` grows
+(the Hankel systems are ill-conditioned and can deliver unstable,
+right-half-plane poles).  Here it runs on the *exact* moments of the
+distributed driver/line/load system (paper eq. 7 series), providing the
+ablation ladder Elmore (q=1-ish) -> two-pole -> AWE-q -> eq. 9 used by
+experiment EXP-X3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.canonical import DriverLineLoad
+from repro.errors import AnalysisError, ParameterError
+from repro.tline.transfer import transfer_moments
+
+__all__ = ["ReducedOrderModel", "awe_reduce", "awe_delay_50"]
+
+
+@dataclass(frozen=True)
+class ReducedOrderModel:
+    """A pole/residue model matched to transfer-function moments.
+
+    ``poles`` and ``residues`` are complex arrays of equal length ``q``
+    (complex poles appear in conjugate pairs); the model's unit-step
+    response is ``1 + sum_j (r_j / p_j) * exp(p_j * t)``.
+    """
+
+    poles: np.ndarray
+    residues: np.ndarray
+
+    @property
+    def order(self) -> int:
+        """Number of poles ``q``."""
+        return self.poles.size
+
+    @property
+    def is_stable(self) -> bool:
+        """True when every pole lies strictly in the left half plane."""
+        return bool(np.all(self.poles.real < 0))
+
+    def step_response(self, times) -> np.ndarray:
+        """Analytic unit-step response at the requested times."""
+        t = np.asarray(times, dtype=float)
+        coeffs = self.residues / self.poles
+        # exp over the outer product (len(t) x q); result is real for
+        # conjugate-symmetric pole sets (imaginary residue is ~1e-16).
+        waves = np.exp(np.outer(t, self.poles))
+        return 1.0 + np.real(waves @ coeffs)
+
+    def transfer_at(self, s) -> np.ndarray:
+        """Evaluate the reduced model ``sum r_j/(s - p_j)``."""
+        s = np.atleast_1d(np.asarray(s, dtype=complex))
+        return (self.residues[None, :] / (s[:, None] - self.poles[None, :])).sum(
+            axis=1
+        )
+
+
+def awe_reduce(line: DriverLineLoad, q: int = 3) -> ReducedOrderModel:
+    """Build a ``q``-pole AWE model of the Fig. 1 circuit.
+
+    Parameters
+    ----------
+    line:
+        The driver/line/load instance.
+    q:
+        Model order (number of poles).  2-4 is the practical range;
+        beyond that the moment Hankel matrix is usually too
+        ill-conditioned in double precision.
+
+    Raises
+    ------
+    AnalysisError
+        If the Hankel system is singular or the matched model is
+        unstable (right-half-plane poles) -- AWE's classic failure mode,
+        surfaced rather than silently returned.
+    """
+    if not isinstance(q, int) or q < 1:
+        raise ParameterError(f"q must be a positive integer, got {q!r}")
+    # Moments m_0 .. m_{2q-1} of H(s) (m_0 = 1).
+    m = transfer_moments(line.rt, line.lt, line.ct, line.rtr, line.cl,
+                         order=2 * q - 1)
+
+    # Denominator: sum_{i=1..q} b_i m_{k-i} = -m_k for k = q .. 2q-1.
+    hankel = np.empty((q, q))
+    rhs = np.empty(q)
+    for row, k in enumerate(range(q, 2 * q)):
+        hankel[row] = [m[k - i] for i in range(1, q + 1)]
+        rhs[row] = -m[k]
+    try:
+        b = np.linalg.solve(hankel, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise AnalysisError(
+            f"AWE order {q}: singular moment matrix (try a lower order)"
+        ) from exc
+
+    # Poles: roots of 1 + b_1 s + ... + b_q s^q.
+    poly = np.concatenate(([1.0], b))  # ascending
+    poles = np.roots(poly[::-1])
+    if np.any(poles.real >= 0):
+        raise AnalysisError(
+            f"AWE order {q} produced unstable poles "
+            f"(max Re = {poles.real.max():.3g}); the classic AWE failure -- "
+            "reduce the order"
+        )
+
+    # Residues from the first q moments: m_k = -sum_j r_j / p_j^(k+1).
+    vander = np.empty((q, q), dtype=complex)
+    for k in range(q):
+        vander[k] = -(poles ** -(k + 1.0))
+    try:
+        residues = np.linalg.solve(vander, m[:q].astype(complex))
+    except np.linalg.LinAlgError as exc:
+        raise AnalysisError(f"AWE order {q}: residue solve failed") from exc
+    return ReducedOrderModel(poles=poles, residues=residues)
+
+
+def awe_delay_50(line: DriverLineLoad, q: int = 3) -> float:
+    """50% delay of the order-``q`` AWE model (seconds).
+
+    The analytic step response is scanned for its first upward 0.5
+    crossing and refined by bisection.
+    """
+    model = awe_reduce(line, q)
+    # Time scale: slowest pole sets the tail; fastest sets the rise.
+    slowest = 1.0 / np.min(np.abs(model.poles.real))
+    grid = np.linspace(0.0, 40.0 * slowest, 8192)
+    values = model.step_response(grid)
+    above = values >= 0.5
+    hits = np.nonzero(above[1:] & ~above[:-1])[0]
+    if hits.size == 0 and not above[0]:
+        raise AnalysisError(
+            f"AWE order {q} response never reaches 50% in the scan window"
+        )
+    i = int(hits[0]) if hits.size else 0
+    lo, hi = grid[i], grid[i + 1]
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if float(model.step_response(np.array([mid]))[0]) >= 0.5:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)

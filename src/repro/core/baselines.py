@@ -1,0 +1,79 @@
+"""Classical RC delay baselines referenced by the paper.
+
+- Sakurai [3]: the widely used closed-form 50% delay of a distributed RC
+  line with source resistance and load capacitance,
+  ``t50 = 0.377*Rt*Ct + 0.693*(Rtr*Ct + Rtr*CL + Rt*CL)``;
+- Bakoglu [11]: the RC repeater insertion optimum (implemented in
+  :func:`repro.core.repeater.bakoglu_rc_design`);
+- the lossless LC "speed-of-light" bound.
+
+These are the models the paper's eq. 9 collapses to in the ``L -> 0``
+limit and improves upon elsewhere; experiment EXP-X3 quantifies the gap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.canonical import DriverLineLoad
+from repro.errors import ParameterError
+
+__all__ = [
+    "sakurai_rc_delay_50",
+    "distributed_rc_delay_50",
+    "lc_bound_delay",
+    "rc_dominated",
+]
+
+#: Sakurai's distributed-RC coefficient for the line's own delay.
+SAKURAI_LINE_COEFFICIENT = 0.377
+#: ln(2), the single-pole coefficient for the lumped terms.
+SAKURAI_LUMPED_COEFFICIENT = 0.693
+
+
+def sakurai_rc_delay_50(line: DriverLineLoad) -> float:
+    """Sakurai's RC 50% delay (ignores ``Lt``), seconds.
+
+    The reference model for RC interconnect timing; for a bare line it
+    reduces to ``0.377 * Rt * Ct`` (quadratic in length since both
+    ``Rt`` and ``Ct`` scale with ``l``).
+    """
+    return (
+        SAKURAI_LINE_COEFFICIENT * line.rt * line.ct
+        + SAKURAI_LUMPED_COEFFICIENT
+        * (line.rtr * line.ct + line.rtr * line.cl + line.rt * line.cl)
+    )
+
+
+def distributed_rc_delay_50(rt: float, ct: float) -> float:
+    """Bare distributed-RC line delay ``0.377 * Rt * Ct``.
+
+    The paper quotes the rounded coefficient ``0.37`` when presenting the
+    ``L -> 0`` limit of eq. 9 (``1.48 / 4 = 0.37``).
+    """
+    if rt < 0 or ct < 0:
+        raise ParameterError("rt and ct must be >= 0")
+    return SAKURAI_LINE_COEFFICIENT * rt * ct
+
+
+def lc_bound_delay(line: DriverLineLoad) -> float:
+    """Lossless lower bound: wavefront arrival ``sqrt(Lt * Ct)``.
+
+    No signalling scheme on this wire can beat the time of flight; the
+    paper's repeater result (fewer repeaters as inductance grows) follows
+    from delay saturating at this *linear-in-length* bound.
+    """
+    return math.sqrt(line.lt * line.ct)
+
+
+def rc_dominated(line: DriverLineLoad, threshold: float = 2.0) -> bool:
+    """Heuristic: is this net effectively RC (``zeta`` above threshold)?
+
+    With ``zeta >= ~2`` the eq. 9 exponential term is < 1% of the delay
+    and RC models are adequate; below it inductance matters.  See
+    :mod:`repro.analysis.merit` for the length-window criterion of the
+    companion paper [8].
+    """
+    if threshold <= 0:
+        raise ParameterError(f"threshold must be > 0, got {threshold}")
+    return line.zeta >= threshold

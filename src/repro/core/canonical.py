@@ -1,0 +1,277 @@
+"""The Fig. 1 circuit and the paper's canonical variables.
+
+A CMOS gate driving a distributed RLC line (paper Fig. 1) is fully
+described by five impedances: the line totals ``Rt = R*l``, ``Lt = L*l``,
+``Ct = C*l`` and the gate parasitics ``Rtr`` (driver output resistance)
+and ``CL`` (receiver input capacitance).
+
+Section II of the paper shows that after scaling time by
+
+    omega_n = 1 / sqrt(Lt * (Ct + CL))                               (eq. 3)
+
+the normalized 50% delay depends on only three dimensionless groups,
+
+    RT = Rtr / Rt,   CT = CL / Ct,                                   (eq. 5)
+
+and the damping factor
+
+    zeta = (Rt / 2) * sqrt(Ct / Lt)
+           * (RT + CT + RT*CT + 0.5) / sqrt(1 + CT),                 (eq. 6)
+
+and that the dependence on ``RT`` and ``CT`` beyond their contribution to
+``zeta`` is weak.  ``zeta`` therefore *collects all five impedances into a
+single parameter* -- the central observation enabling the closed-form
+delay model of :mod:`repro.core.delay`.
+
+``zeta`` is exactly half the coefficient of the scaled complex frequency
+in the denominator of the transfer function (the paper's eq. 7); the test
+suite verifies this against the independently computed series expansion in
+:func:`repro.tline.transfer.denominator_coefficients`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import (
+    ParameterError,
+    require_nonnegative,
+    require_positive,
+)
+
+__all__ = ["DriverLineLoad", "omega_n", "zeta", "zeta_from_ratios"]
+
+
+def omega_n(lt: float, ct: float, cl: float = 0.0) -> float:
+    """Natural angular frequency ``1 / sqrt(Lt * (Ct + CL))`` (eq. 3)."""
+    require_positive("lt", lt)
+    require_positive("ct", ct)
+    require_nonnegative("cl", cl)
+    return 1.0 / math.sqrt(lt * (ct + cl))
+
+
+def zeta_from_ratios(rt_over_2_sqrt: float, r_ratio: float, c_ratio: float) -> float:
+    """``zeta`` given the prefactor ``(Rt/2)*sqrt(Ct/Lt)`` and RT, CT.
+
+    Split out so the repeater-section algebra (which manipulates the
+    dimensionless groups directly, eqs. 20-21) can share the expression.
+    """
+    require_nonnegative("r_ratio", r_ratio)
+    require_nonnegative("c_ratio", c_ratio)
+    numerator = r_ratio + c_ratio + r_ratio * c_ratio + 0.5
+    return rt_over_2_sqrt * numerator / math.sqrt(1.0 + c_ratio)
+
+
+def zeta(
+    rt: float,
+    lt: float,
+    ct: float,
+    rtr: float = 0.0,
+    cl: float = 0.0,
+) -> float:
+    """Damping factor of the driver/line/load system (eq. 6).
+
+    ``zeta < 1`` indicates an underdamped (inductance-dominated) response
+    with overshoot; large ``zeta`` recovers RC behaviour.
+    """
+    require_nonnegative("rt", rt)
+    require_positive("lt", lt)
+    require_positive("ct", ct)
+    require_nonnegative("rtr", rtr)
+    require_nonnegative("cl", cl)
+    if rt == 0 and rtr == 0:
+        return 0.0
+    if rt == 0:
+        # RT = Rtr/Rt diverges but Rt*RT = Rtr stays finite; expand:
+        # zeta = sqrt(Ct/Lt)/2 * (Rtr + Rtr*CL/Ct) / sqrt(1+CT) ... done below
+        c_ratio = cl / ct
+        pref = 0.5 * math.sqrt(ct / lt)
+        return pref * (rtr + rtr * c_ratio) / math.sqrt(1.0 + c_ratio)
+    prefactor = 0.5 * rt * math.sqrt(ct / lt)
+    return zeta_from_ratios(prefactor, rtr / rt, cl / ct)
+
+
+@dataclass(frozen=True)
+class DriverLineLoad:
+    """A gate driving a distributed RLC line into a capacitive load.
+
+    This is the object model of the paper's Fig. 1.  All values are SI.
+
+    Attributes
+    ----------
+    rt, lt, ct:
+        Total line resistance (ohm), inductance (H), capacitance (F).
+    rtr:
+        Driver (gate) equivalent output resistance (ohm).
+    cl:
+        Load (next gate input) capacitance (F).
+
+    Examples
+    --------
+    >>> line = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12,
+    ...                       rtr=100.0, cl=1e-13)
+    >>> round(line.zeta, 4)
+    0.3385
+    >>> round(line.r_ratio, 3), round(line.c_ratio, 3)
+    (0.1, 0.1)
+    """
+
+    rt: float
+    lt: float
+    ct: float
+    rtr: float = 0.0
+    cl: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative("rt", self.rt)
+        require_positive("lt", self.lt)
+        require_positive("ct", self.ct)
+        require_nonnegative("rtr", self.rtr)
+        require_nonnegative("cl", self.cl)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_per_unit_length(
+        cls,
+        r: float,
+        l: float,
+        c: float,
+        length: float,
+        rtr: float = 0.0,
+        cl: float = 0.0,
+    ) -> "DriverLineLoad":
+        """Build from per-unit-length parasitics and a wire length.
+
+        ``r`` in ohm/m, ``l`` in H/m, ``c`` in F/m, ``length`` in m
+        (paper: ``Rt = R*l`` etc.).
+        """
+        require_positive("length", length)
+        return cls(
+            rt=r * length, lt=l * length, ct=c * length, rtr=rtr, cl=cl
+        )
+
+    @classmethod
+    def for_zeta(
+        cls,
+        zeta_target: float,
+        r_ratio: float = 0.0,
+        c_ratio: float = 0.0,
+        rt: float = 1.0,
+        ct: float = 1.0,
+    ) -> "DriverLineLoad":
+        """Construct a circuit with a prescribed damping factor.
+
+        Fixes ``Rt``, ``Ct`` and the dimensionless ratios ``RT``, ``CT``
+        and solves eq. 6 for the ``Lt`` that yields ``zeta_target``.
+        Used to sweep ``zeta`` at constant (RT, CT) -- the axes of the
+        paper's Fig. 2.
+        """
+        require_positive("zeta_target", zeta_target)
+        require_nonnegative("r_ratio", r_ratio)
+        require_nonnegative("c_ratio", c_ratio)
+        require_positive("rt", rt)
+        require_positive("ct", ct)
+        group = (
+            r_ratio + c_ratio + r_ratio * c_ratio + 0.5
+        ) / math.sqrt(1.0 + c_ratio)
+        lt = (rt * rt * ct) * group * group / (4.0 * zeta_target * zeta_target)
+        return cls(
+            rt=rt, lt=lt, ct=ct, rtr=r_ratio * rt, cl=c_ratio * ct
+        )
+
+    def with_length_scaled(self, factor: float) -> "DriverLineLoad":
+        """The same wire, ``factor`` times longer (gate parasitics fixed)."""
+        require_positive("factor", factor)
+        return replace(
+            self, rt=self.rt * factor, lt=self.lt * factor, ct=self.ct * factor
+        )
+
+    def section(self, k: int) -> "DriverLineLoad":
+        """One of ``k`` equal line sections (gate impedances preserved).
+
+        Used by the repeater algebra: each section has impedance
+        ``Rt/k, Lt/k, Ct/k`` (paper Fig. 3 / eq. 19).
+        """
+        if not isinstance(k, int) or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k!r}")
+        return replace(
+            self, rt=self.rt / k, lt=self.lt / k, ct=self.ct / k
+        )
+
+    # -- canonical variables ---------------------------------------------------
+
+    @property
+    def r_ratio(self) -> float:
+        """``RT = Rtr / Rt`` (eq. 5); infinity for a resistance-free line."""
+        if self.rt == 0:
+            return math.inf if self.rtr > 0 else 0.0
+        return self.rtr / self.rt
+
+    @property
+    def c_ratio(self) -> float:
+        """``CT = CL / Ct`` (eq. 5)."""
+        return self.cl / self.ct
+
+    @property
+    def omega_n(self) -> float:
+        """Natural frequency (eq. 3), rad/s."""
+        return omega_n(self.lt, self.ct, self.cl)
+
+    @property
+    def zeta(self) -> float:
+        """Damping factor (eq. 6)."""
+        return zeta(self.rt, self.lt, self.ct, self.rtr, self.cl)
+
+    @property
+    def is_underdamped(self) -> bool:
+        """True when the far-end response overshoots (``zeta < 1``)."""
+        return self.zeta < 1.0
+
+    @property
+    def time_of_flight(self) -> float:
+        """Wave propagation time ``sqrt(Lt * Ct)`` of the bare line."""
+        return math.sqrt(self.lt * self.ct)
+
+    @property
+    def characteristic_impedance(self) -> float:
+        """Lossless characteristic impedance ``sqrt(Lt / Ct)``."""
+        return math.sqrt(self.lt / self.ct)
+
+    @property
+    def total_capacitance(self) -> float:
+        """Line plus load capacitance ``Ct + CL``."""
+        return self.ct + self.cl
+
+    # -- substrate views -------------------------------------------------------
+
+    def transfer(self):
+        """Exact frequency-domain view (:mod:`repro.tline.transfer`)."""
+        from repro.tline.transfer import DriverLineLoadTransfer
+
+        return DriverLineLoadTransfer(
+            rt=self.rt, lt=self.lt, ct=self.ct, rtr=self.rtr, cl=self.cl
+        )
+
+    def ladder(self, n_segments: int = 64, topology="PI"):
+        """Lumped-ladder view (:mod:`repro.spice.ladder`).
+
+        The driver resistance must be positive for the lumped model; a
+        zero ``rtr`` is replaced by a negligibly small resistance scaled
+        to the line (``1e-6 * max(Rt, Z0)``).
+        """
+        from repro.spice.ladder import LadderSpec
+
+        rtr = self.rtr
+        if rtr == 0.0:
+            rtr = 1e-6 * max(self.rt, self.characteristic_impedance)
+        return LadderSpec(
+            rt=self.rt,
+            lt=self.lt,
+            ct=self.ct,
+            rtr=rtr,
+            cl=self.cl,
+            n_segments=n_segments,
+            topology=topology,
+        )

@@ -1,0 +1,123 @@
+"""Closed-form propagation delay of a gate driving an RLC line (eq. 9).
+
+The paper's central result: after time scaling by ``omega_n`` the 50%
+delay of the Fig. 1 circuit is, to within a few percent, a function of
+the damping factor ``zeta`` alone, fitted as
+
+    t'_pd = exp(-2.9 * zeta**1.35) + 1.48 * zeta                     (eq. 9)
+    t_pd  = t'_pd / omega_n
+
+One continuous expression covers both the underdamped regime (``zeta``
+small: overshoot, delay ~ time of flight) and the overdamped regime
+(``zeta`` large: RC-like diffusion).  Exact limits:
+
+- ``L -> 0`` (``zeta -> inf``): ``t_pd -> 0.74 * Rt * Ct *
+  (RT + CT + RT*CT + 0.5)``, which for a bare line (``RT = CT = 0``)
+  is Sakurai's ``0.37 * R * C * l**2`` -- quadratic in length;
+- ``R -> 0`` (``zeta -> 0``): ``t_pd -> sqrt(Lt * (Ct + CL))``, for a
+  bare line the time of flight ``l * sqrt(L*C)`` -- *linear* in length.
+
+The quadratic-to-linear transition as inductance grows is the paper's
+headline physical claim and is reproduced as experiment EXP-X1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.canonical import DriverLineLoad
+from repro.errors import ParameterError, require_nonnegative
+
+__all__ = [
+    "FIT_EXPONENT_COEFFICIENT",
+    "FIT_EXPONENT_POWER",
+    "FIT_LINEAR_COEFFICIENT",
+    "scaled_delay",
+    "propagation_delay",
+    "rc_limit_delay",
+    "lc_limit_delay",
+    "time_of_flight",
+    "delay_error_vs_reference",
+]
+
+# The fitted constants of eq. 9.  (Re-derivable on our own simulator data
+# via repro.core.fitting -- experiment EXP-X5.)
+FIT_EXPONENT_COEFFICIENT = 2.9
+FIT_EXPONENT_POWER = 1.35
+FIT_LINEAR_COEFFICIENT = 1.48
+
+
+def scaled_delay(zeta_value):
+    """Dimensionless 50% delay ``t'_pd(zeta)`` (eq. 9).
+
+    Accepts a scalar or array of non-negative damping factors.
+
+    >>> round(float(scaled_delay(0.0)), 3)   # pure LC: time of flight
+    1.0
+    """
+    z = np.asarray(zeta_value, dtype=float)
+    if np.any(z < 0) or not np.all(np.isfinite(z)):
+        raise ParameterError("zeta must be finite and >= 0")
+    result = (
+        np.exp(-FIT_EXPONENT_COEFFICIENT * z**FIT_EXPONENT_POWER)
+        + FIT_LINEAR_COEFFICIENT * z
+    )
+    if np.isscalar(zeta_value) or np.ndim(zeta_value) == 0:
+        return float(result)
+    return result
+
+
+def propagation_delay(line: DriverLineLoad) -> float:
+    """50% propagation delay of the Fig. 1 circuit (eq. 9), seconds.
+
+    >>> line = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12,
+    ...                       rtr=100.0, cl=1e-13)
+    >>> round(propagation_delay(line) * 1e12)   # paper Table 1: 1062 ps
+    1061
+    """
+    return scaled_delay(line.zeta) / line.omega_n
+
+
+def rc_limit_delay(line: DriverLineLoad) -> float:
+    """The ``Lt -> 0`` limit of eq. 9 (pure distributed-RC delay).
+
+    ``0.74 * Rt * Ct * (RT + CT + RT*CT + 0.5)``; for ``RT = CT = 0``
+    this is the classic ``0.37 * Rt * Ct`` distributed-RC delay of
+    Sakurai [3] and Bakoglu [11].
+    """
+    r_ratio, c_ratio = line.r_ratio, line.c_ratio
+    if math.isinf(r_ratio):
+        raise ParameterError("rc_limit_delay requires rt > 0")
+    group = r_ratio + c_ratio + r_ratio * c_ratio + 0.5
+    return 0.5 * FIT_LINEAR_COEFFICIENT * line.rt * line.ct * group
+
+
+def lc_limit_delay(line: DriverLineLoad) -> float:
+    """The ``Rt, Rtr -> 0`` limit of eq. 9: ``sqrt(Lt * (Ct + CL))``.
+
+    For a bare line this is the time of flight ``l * sqrt(L*C)`` --
+    linear, not quadratic, in wire length.
+    """
+    return 1.0 / line.omega_n
+
+
+def time_of_flight(lt: float, ct: float) -> float:
+    """Wavefront arrival time ``sqrt(Lt * Ct)`` of a lossless line."""
+    require_nonnegative("lt", lt)
+    require_nonnegative("ct", ct)
+    return math.sqrt(lt * ct)
+
+
+def delay_error_vs_reference(model_delay: float, reference_delay: float) -> float:
+    """Relative error ``|model - reference| / reference`` (paper's metric).
+
+    The paper's Table 1 reports ``100 * |eq9 - AS/X| / AS/X``; use this
+    with any of our simulator routes standing in for AS/X.
+    """
+    if reference_delay <= 0 or not math.isfinite(reference_delay):
+        raise ParameterError(
+            f"reference delay must be positive and finite, got {reference_delay!r}"
+        )
+    return abs(model_delay - reference_delay) / reference_delay

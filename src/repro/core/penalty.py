@@ -1,0 +1,145 @@
+"""The cost of designing repeaters with an RC model on an RLC line.
+
+Section III of the paper quantifies what happens when inductance is
+ignored: Bakoglu's RC solution inserts *too many, too large* repeaters.
+Relative to the RLC-aware optimum this costs delay (eq. 16/17), area
+(eq. 18) and power.  All three penalties are functions of the single
+parameter ``T_{L/R}`` (eq. 13).
+
+Headline anchors reproduced by experiments EXP-E17 / EXP-E18:
+
+====  ============  ===========
+T      delay incr.   area incr.
+====  ============  ===========
+3      ~10%          154%
+5      ~20%          435%
+10     ~30% (sat.)   --
+====  ============  ===========
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.repeater import (
+    Buffer,
+    RepeaterDesign,
+    RepeaterSystem,
+    bakoglu_rc_design,
+    error_factors,
+    normalized_system,
+    numerical_optimal_design,
+    optimal_rlc_design,
+)
+from repro.errors import ParameterError
+
+__all__ = [
+    "delay_increase_closed_form",
+    "delay_increase_numerical",
+    "area_increase_closed_form",
+    "area_increase_from_designs",
+    "power_increase",
+]
+
+
+def _check_tlr(tlr) -> np.ndarray:
+    t = np.asarray(tlr, dtype=float)
+    if np.any(t < 0) or not np.all(np.isfinite(t)):
+        raise ParameterError("T_{L/R} must be finite and >= 0")
+    return t
+
+
+def delay_increase_closed_form(tlr):
+    """Percent total-delay increase from RC-based insertion (eq. 17).
+
+    ``%increase = 30*T / (0.5 + T + 23*exp(-0.48*T) + 10*exp(-4*T))``.
+    Zero at ``T = 0``, saturating at 30% for large ``T``; ~10/20/28% at
+    ``T = 3/5/10`` (the paper rounds the last to 30%).  Accepts arrays.
+    """
+    t = _check_tlr(tlr)
+    result = 30.0 * t / (0.5 + t + 23.0 * np.exp(-0.48 * t) + 10.0 * np.exp(-4.0 * t))
+    return float(result) if np.ndim(tlr) == 0 else result
+
+
+def delay_increase_numerical(tlr: float, use_numerical_optimum: bool = False) -> float:
+    """Percent delay increase evaluated from the delay model (eq. 16).
+
+    Builds the normalized system for ``T_{L/R} = tlr``, evaluates the
+    total delay with Bakoglu's RC ``(h, k)`` and with the RLC-aware
+    ``(h, k)``, and returns ``100 * (t_RC - t_RLC) / t_RLC``.
+
+    Parameters
+    ----------
+    tlr:
+        The inductance time ratio.
+    use_numerical_optimum:
+        If True, the RLC design is the true numerical optimum rather
+        than the closed-form fit of eqs. 14/15 (slower, marginally
+        smaller denominator).
+    """
+    if tlr <= 0 or not math.isfinite(tlr):
+        raise ParameterError(f"tlr must be positive and finite, got {tlr!r}")
+    line, buffer = normalized_system(tlr)
+    system = RepeaterSystem(line, buffer)
+    rc_design = bakoglu_rc_design(line, buffer)
+    if use_numerical_optimum:
+        rlc_design = numerical_optimal_design(line, buffer)
+    else:
+        rlc_design = optimal_rlc_design(line, buffer)
+    t_rc = system.total_delay(rc_design)
+    t_rlc = system.total_delay(rlc_design)
+    return 100.0 * (t_rc - t_rlc) / t_rlc
+
+
+def area_increase_closed_form(tlr):
+    """Percent repeater-area increase from RC-based insertion (eq. 18).
+
+    ``%AI = 100 * ((1 + 0.18*T**3)**0.3 * (1 + 0.16*T**3)**0.24 - 1)``:
+    the exact consequence of eqs. 14/15, since ``A_RC / A_RLC =
+    1 / (h' * k')``.  154% at ``T = 3``, 435% at ``T = 5``.
+    """
+    t = _check_tlr(tlr)
+    h_prime, k_prime = error_factors(t)
+    result = 100.0 * (1.0 / (np.asarray(h_prime) * np.asarray(k_prime)) - 1.0)
+    return float(result) if np.ndim(tlr) == 0 else result
+
+
+def area_increase_from_designs(
+    rc_design: RepeaterDesign, rlc_design: RepeaterDesign, buffer: Buffer
+) -> float:
+    """Percent area increase ``100 * (A_RC - A_RLC) / A_RLC``."""
+    a_rc = rc_design.area(buffer)
+    a_rlc = rlc_design.area(buffer)
+    if a_rlc <= 0:
+        raise ParameterError("RLC design area must be positive")
+    return 100.0 * (a_rc - a_rlc) / a_rlc
+
+
+def power_increase(
+    tlr: float,
+    line=None,
+    buffer: Buffer | None = None,
+    include_wire: bool = True,
+) -> float:
+    """Percent dynamic-power increase of RC-based over RLC-based insertion.
+
+    The paper argues qualitatively that the RC design "is expected to
+    consume much more power" because of its extra repeater area; this
+    quantifies it.  Power follows switched capacitance; with the
+    (design-independent) wire capacitance included the percentage is
+    diluted relative to the area penalty, with ``include_wire=False`` it
+    equals the area penalty exactly (buffer caps scale with ``h*k``).
+
+    A concrete ``(line, buffer)`` may be supplied; otherwise the
+    normalized system for ``tlr`` is used.
+    """
+    if line is None or buffer is None:
+        line, buffer = normalized_system(tlr)
+    system = RepeaterSystem(line, buffer)
+    rc = bakoglu_rc_design(line, buffer)
+    rlc = optimal_rlc_design(line, buffer)
+    c_rc = system.switched_capacitance(rc, include_wire=include_wire)
+    c_rlc = system.switched_capacitance(rlc, include_wire=include_wire)
+    return 100.0 * (c_rc - c_rlc) / c_rlc

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Input validation raises the more specific subclasses
+below; plain ``ValueError``/``TypeError`` are reserved for genuine Python
+misuse (wrong types, impossible arguments) at the lowest levels.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A physical parameter is out of its valid domain (e.g. negative R)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical procedure failed to converge."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A circuit simulation could not be completed (singular MNA, etc.)."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A netlist is malformed (dangling node, duplicate name, ...)."""
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """A waveform/ analysis post-processing step failed (no crossing, ...)."""
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a strictly positive finite number.
+
+    Returns the value so it can be used inline::
+
+        self.rt = require_positive("rt", rt)
+    """
+    _require_real(name, value)
+    if value <= 0:
+        raise ParameterError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number >= 0 and return it."""
+    _require_real(name, value)
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def _require_real(name: str, value: float) -> None:
+    import math
+
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")

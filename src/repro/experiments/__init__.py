@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per reproduced table/figure.
+
+Each module exposes ``run(...) -> ExperimentTable`` and a ``main()``
+that prints the rendered rows; run any of them directly::
+
+    python -m repro.experiments.table1
+
+The registry below maps DESIGN.md experiment ids to their drivers.
+"""
+
+from repro.experiments import (
+    ablation,
+    crosstalk_study,
+    eq17,
+    eq18,
+    fig2,
+    fig4,
+    length_dependence,
+    refit,
+    scaling,
+    table1,
+    zeta_collapse,
+)
+from repro.experiments.common import ExperimentTable, render_table
+
+#: DESIGN.md experiment id -> driver module (each has run()/main()).
+REGISTRY = {
+    "EXP-T1": table1,
+    "EXP-F2": fig2,
+    "EXP-F4": fig4,
+    "EXP-E17": eq17,
+    "EXP-E18": eq18,
+    "EXP-X1": length_dependence,
+    "EXP-X2": zeta_collapse,
+    "EXP-X3": ablation,
+    "EXP-X4": scaling,
+    "EXP-X5": refit,
+    "EXP-X6": crosstalk_study,
+}
+
+__all__ = ["REGISTRY", "ExperimentTable", "render_table"]

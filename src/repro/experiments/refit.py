@@ -1,0 +1,139 @@
+"""EXP-X5: re-run the paper's curve fits on our own data.
+
+The paper's constants were fitted to AS/X simulations (eq. 9) and to
+numerical optimizations (eqs. 14/15).  Re-running the same fits against
+*our* simulators closes the methodological loop:
+
+- the eq. 9 template refitted to our simulated scaled delays should land
+  near (2.9, 1.35, 1.48) -- it does, because our simulators agree with
+  AS/X's physics;
+- the eqs. 14/15 template refitted to our numerical error factors lands
+  at *different* constants -- consistent with EXP-F4's documented
+  deviation, while preserving the functional form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.delay import (
+    FIT_EXPONENT_COEFFICIENT,
+    FIT_EXPONENT_POWER,
+    FIT_LINEAR_COEFFICIENT,
+)
+from repro.core.fitting import fit_delay_model, fit_error_factor
+from repro.core.repeater import numerical_error_factors
+from repro.core.simulate import simulated_delay_50
+from repro.experiments.common import ExperimentTable, render_table
+
+__all__ = ["run", "main", "refit_delay_model", "refit_error_factors"]
+
+
+def refit_delay_model(
+    zeta_values=None,
+    ratio: float = 0.5,
+    n_segments: int = 120,
+):
+    """Fit the eq. 9 template to simulated scaled delays.
+
+    Sweeps ``zeta`` at ``RT = CT = ratio`` (mid-band of the paper's
+    optimization range).
+    """
+    if zeta_values is None:
+        zeta_values = np.linspace(0.15, 2.5, 24)
+    zeta_values = np.asarray(zeta_values, dtype=float)
+    scaled = []
+    for z in zeta_values:
+        line = DriverLineLoad.for_zeta(z, r_ratio=ratio, c_ratio=ratio)
+        t50 = simulated_delay_50(line, n_segments=n_segments)
+        scaled.append(t50 * line.omega_n)
+    return fit_delay_model(zeta_values, np.array(scaled))
+
+
+def refit_error_factors(tlr_values=None):
+    """Fit the eqs. 14/15 template to our numerical error factors."""
+    if tlr_values is None:
+        tlr_values = np.array([0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 10.0])
+    tlr_values = np.asarray(tlr_values, dtype=float)
+    h_vals, k_vals = [], []
+    for t in tlr_values:
+        h_prime, k_prime = numerical_error_factors(float(t))
+        h_vals.append(h_prime)
+        k_vals.append(k_prime)
+    fit_h = fit_error_factor(tlr_values, np.array(h_vals))
+    fit_k = fit_error_factor(tlr_values, np.array(k_vals))
+    return fit_h, fit_k
+
+
+def run() -> ExperimentTable:
+    """Regenerate all three fits and compare to the published constants."""
+    delay_fit = refit_delay_model()
+    fit_h, fit_k = refit_error_factors()
+
+    a, b, c = delay_fit.parameters
+    rows = (
+        (
+            "eq9: exp coeff",
+            FIT_EXPONENT_COEFFICIENT,
+            round(a, 3),
+            round(delay_fit.max_relative_error * 100, 2),
+        ),
+        (
+            "eq9: exp power",
+            FIT_EXPONENT_POWER,
+            round(b, 3),
+            round(delay_fit.max_relative_error * 100, 2),
+        ),
+        (
+            "eq9: linear coeff",
+            FIT_LINEAR_COEFFICIENT,
+            round(c, 3),
+            round(delay_fit.max_relative_error * 100, 2),
+        ),
+        (
+            "h': alpha",
+            0.16,
+            round(fit_h.parameters[0], 3),
+            round(fit_h.max_relative_error * 100, 2),
+        ),
+        (
+            "h': beta",
+            0.24,
+            round(fit_h.parameters[1], 3),
+            round(fit_h.max_relative_error * 100, 2),
+        ),
+        (
+            "k': alpha",
+            0.18,
+            round(fit_k.parameters[0], 3),
+            round(fit_k.max_relative_error * 100, 2),
+        ),
+        (
+            "k': beta",
+            0.30,
+            round(fit_k.parameters[1], 3),
+            round(fit_k.max_relative_error * 100, 2),
+        ),
+    )
+    notes = (
+        "eq. 9 constants refit on our simulators land near the published "
+        "values (same physics); the h'/k' constants land lower, matching "
+        "EXP-F4's documented deviation while preserving the 1/(1+aT^3)^b "
+        "functional form",
+    )
+    return ExperimentTable(
+        experiment_id="EXP-X5",
+        title="curve-fit reproduction -- published vs refit constants",
+        headers=("constant", "published", "refit", "fit_max_err_%"),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def main() -> None:
+    print(render_table(run()))
+
+
+if __name__ == "__main__":
+    main()

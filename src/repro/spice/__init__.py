@@ -1,0 +1,60 @@
+"""SPICE-class lumped circuit simulation substrate.
+
+This subpackage stands in for AS/X, the IBM dynamic circuit simulator the
+paper validates against.  It provides:
+
+- :mod:`repro.spice.netlist`    -- circuit description (R, L, C, sources),
+- :mod:`repro.spice.mna`        -- Modified Nodal Analysis matrix assembly,
+- :mod:`repro.spice.dc`         -- DC operating point,
+- :mod:`repro.spice.transient`  -- backward-Euler / trapezoidal transient,
+- :mod:`repro.spice.ac`         -- small-signal frequency sweeps,
+- :mod:`repro.spice.statespace` -- exact matrix-exponential integration of
+  LTI state-space models,
+- :mod:`repro.spice.ladder`     -- lumped-segment approximations of the
+  distributed RLC line (the workload of every experiment in the paper).
+
+The distributed line of the paper is simulated here as an ``n``-segment
+ladder; tests drive ``n`` up until the 50% delay converges and compare
+against the exact frequency-domain solution in :mod:`repro.tline`.
+"""
+
+from repro.spice.ladder import LadderSpec, LadderTopology, build_ladder_circuit, build_ladder_state_space
+from repro.spice.netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Step,
+    VoltageSource,
+)
+from repro.spice.transient import TransientResult, simulate_transient
+from repro.spice.statespace import StateSpace, simulate_step
+from repro.spice.dc import dc_operating_point
+from repro.spice.ac import ac_sweep
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Step",
+    "Pulse",
+    "Sine",
+    "PiecewiseLinear",
+    "simulate_transient",
+    "TransientResult",
+    "StateSpace",
+    "simulate_step",
+    "dc_operating_point",
+    "ac_sweep",
+    "LadderSpec",
+    "LadderTopology",
+    "build_ladder_circuit",
+    "build_ladder_state_space",
+]

@@ -1,0 +1,112 @@
+"""Small-signal AC analysis.
+
+Solves the phasor system ``(G + j*omega*C) X = B`` over a frequency sweep,
+with every independent source replaced by its AC magnitude (unit for the
+designated input source, zero for the rest -- the classic SPICE ``.AC``
+semantics with a single stimulated source).
+
+The primary use here is validation: the AC response of an ``n``-segment
+ladder must match the cascaded lumped two-port of :mod:`repro.tline.abcd`
+exactly, and must converge to the exact distributed line as ``n`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError, SimulationError
+from repro.spice.mna import build_mna
+from repro.spice.netlist import Circuit, VoltageSource
+
+__all__ = ["AcResult", "ac_sweep"]
+
+
+@dataclass(frozen=True)
+class AcResult:
+    """Complex node spectra from an AC sweep."""
+
+    omegas: np.ndarray
+    states: np.ndarray  # shape (len(omegas), n_unknowns), complex
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+
+    def voltage(self, node) -> np.ndarray:
+        """Complex voltage spectrum of ``node``."""
+        from repro.spice.netlist import GROUND, canonical_node
+
+        name = canonical_node(node)
+        if name == GROUND:
+            return np.zeros_like(self.omegas, dtype=complex)
+        try:
+            return self.states[:, self.node_index[name]].copy()
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r}") from None
+
+    def current(self, element_name: str) -> np.ndarray:
+        """Complex branch-current spectrum (V sources, inductors, ...)."""
+        try:
+            return self.states[:, self.branch_index[element_name]].copy()
+        except KeyError:
+            raise NetlistError(
+                f"element {element_name!r} has no branch current"
+            ) from None
+
+    def transfer(self, node_out, node_in) -> np.ndarray:
+        """``V(node_out) / V(node_in)`` across the sweep."""
+        vin = self.voltage(node_in)
+        if np.any(vin == 0):
+            raise SimulationError("input node has zero AC voltage at some point")
+        return self.voltage(node_out) / vin
+
+
+def ac_sweep(
+    circuit: Circuit,
+    omegas,
+    input_source: str | None = None,
+) -> AcResult:
+    """Run an AC sweep over angular frequencies ``omegas``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.  Exactly one voltage source is stimulated with unit
+        magnitude; the others are shorted (zero AC value).
+    omegas:
+        Angular frequencies (rad/s); zero is allowed if the DC system is
+        nonsingular.
+    input_source:
+        Name of the stimulated voltage source.  May be omitted when the
+        circuit contains exactly one voltage source.
+    """
+    omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
+    system = build_mna(circuit)
+
+    v_sources = [e for e in circuit.elements if isinstance(e, VoltageSource)]
+    if input_source is None:
+        if len(v_sources) != 1:
+            raise NetlistError(
+                "input_source must be named when the circuit has "
+                f"{len(v_sources)} voltage sources"
+            )
+        input_source = v_sources[0].name
+    elif input_source not in {e.name for e in v_sources}:
+        raise NetlistError(f"no voltage source named {input_source!r}")
+
+    b = np.zeros(system.size, dtype=complex)
+    b[system.current_row(input_source)] = 1.0
+
+    states = np.empty((omegas.size, system.size), dtype=complex)
+    for k, w in enumerate(omegas):
+        matrix = system.g + 1j * w * system.c
+        try:
+            states[k] = np.linalg.solve(matrix, b)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(f"singular AC system at omega = {w:g}") from exc
+    return AcResult(
+        omegas=omegas,
+        states=states,
+        node_index=dict(system.node_index),
+        branch_index=dict(system.branch_index),
+    )

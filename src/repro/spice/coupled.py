@@ -1,0 +1,157 @@
+"""Coupled two-line (aggressor/victim) lumped models.
+
+The natural companion workload to the paper: the same wide upper-metal
+wires whose *self*-inductance breaks RC delay models also couple to
+their neighbors capacitively (sidewall capacitance ``Ccm``) and
+magnetically (mutual inductance, coefficient ``km``).  This module
+builds a two-conductor version of the PI ladder of
+:mod:`repro.spice.ladder`: two identical lines, segment-by-segment
+coupling caps and mutual inductances, each line driven through its own
+gate resistance.
+
+Used by :mod:`repro.analysis.crosstalk` for noise and switching-delay
+studies, and exercised end-to-end in ``examples/crosstalk.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, require_nonnegative, require_positive
+from repro.spice.netlist import Circuit, Step
+
+__all__ = ["VictimMode", "CoupledLadderSpec", "build_coupled_ladder_circuit"]
+
+
+class VictimMode(str, enum.Enum):
+    """What the second (victim) line's driver does during the event."""
+
+    QUIET = "quiet"  # victim held low through its driver
+    EVEN = "even"  # victim switches with the aggressor (same direction)
+    ODD = "odd"  # victim switches against the aggressor
+
+
+@dataclass(frozen=True)
+class CoupledLadderSpec:
+    """Two identical coupled lines plus their drivers and loads.
+
+    Attributes
+    ----------
+    rt, lt, ct:
+        Per-line totals (self parasitics), as in :class:`LadderSpec`.
+    cct:
+        Total line-to-line coupling capacitance (F).
+    km:
+        Inductive coupling coefficient between corresponding segments
+        (0 <= km < 1; on-chip neighbors run ~0.4-0.7).
+    rtr_aggressor, rtr_victim:
+        Driver resistances of the two lines.
+    cl:
+        Load capacitance at each far end.
+    n_segments:
+        Lumped segments per line (PI arrangement for both the ground
+        and the coupling capacitance).
+    """
+
+    rt: float
+    lt: float
+    ct: float
+    cct: float
+    km: float
+    rtr_aggressor: float
+    rtr_victim: float
+    cl: float = 0.0
+    n_segments: int = 32
+
+    def __post_init__(self) -> None:
+        require_nonnegative("rt", self.rt)
+        require_positive("lt", self.lt)
+        require_positive("ct", self.ct)
+        require_nonnegative("cct", self.cct)
+        require_nonnegative("km", self.km)
+        if self.km >= 1.0:
+            raise ParameterError(f"km must be < 1, got {self.km}")
+        require_positive("rtr_aggressor", self.rtr_aggressor)
+        require_positive("rtr_victim", self.rtr_victim)
+        require_nonnegative("cl", self.cl)
+        if not isinstance(self.n_segments, int) or self.n_segments < 1:
+            raise ParameterError(
+                f"n_segments must be a positive integer, got {self.n_segments!r}"
+            )
+
+    @property
+    def aggressor_output(self) -> str:
+        """Far-end node name of the aggressor line."""
+        return f"a{self.n_segments}"
+
+    @property
+    def victim_output(self) -> str:
+        """Far-end node name of the victim line."""
+        return f"v{self.n_segments}"
+
+
+def _pi_weights(n: int) -> list[float]:
+    """Per-node PI capacitance weights: half segments at both ends."""
+    weights = [1.0] * (n + 1)
+    weights[0] = 0.5
+    weights[n] = 0.5
+    return weights
+
+
+def build_coupled_ladder_circuit(
+    spec: CoupledLadderSpec,
+    mode: VictimMode | str = VictimMode.QUIET,
+    v_step: float = 1.0,
+) -> Circuit:
+    """Materialize the coupled pair as a netlist.
+
+    The aggressor driver always fires a rising step at ``t = 0``; the
+    victim driver holds low (``quiet``), fires the same step (``even``)
+    or a falling step from ``v_step`` (``odd``).
+    """
+    mode = VictimMode(mode)
+    n = spec.n_segments
+    ckt = Circuit(
+        f"coupled pair n={n} (Cc={spec.cct:g}, km={spec.km:g}, {mode.value})"
+    )
+
+    ckt.add_voltage_source("vina", "ina", "0", Step(0.0, v_step))
+    ckt.add_resistor("rtra", "ina", "a0", spec.rtr_aggressor)
+    if mode is VictimMode.QUIET:
+        victim_wave = Step(0.0, 0.0)
+    elif mode is VictimMode.EVEN:
+        victim_wave = Step(0.0, v_step)
+    else:
+        victim_wave = Step(v_step, 0.0)
+    ckt.add_voltage_source("vinv", "inv", "0", victim_wave)
+    ckt.add_resistor("rtrv", "inv", "v0", spec.rtr_victim)
+
+    r_seg = spec.rt / n
+    l_seg = spec.lt / n
+    c_seg = spec.ct / n
+    cc_seg = spec.cct / n
+
+    for prefix in ("a", "v"):
+        for i in range(n):
+            ckt.add_resistor(
+                f"r{prefix}{i + 1}", f"{prefix}{i}", f"x{prefix}{i + 1}", r_seg
+            )
+            ckt.add_inductor(
+                f"l{prefix}{i + 1}", f"x{prefix}{i + 1}", f"{prefix}{i + 1}", l_seg
+            )
+
+    weights = _pi_weights(n)
+    for i, w in enumerate(weights):
+        for prefix in ("a", "v"):
+            ckt.add_capacitor(f"cg{prefix}{i}", f"{prefix}{i}", "0", w * c_seg)
+        if spec.cct > 0:
+            ckt.add_capacitor(f"cc{i}", f"a{i}", f"v{i}", w * cc_seg)
+    if spec.cl > 0:
+        ckt.add_capacitor("cla", spec.aggressor_output, "0", spec.cl)
+        ckt.add_capacitor("clv", spec.victim_output, "0", spec.cl)
+
+    if spec.km > 0:
+        for i in range(1, n + 1):
+            ckt.add_mutual_inductance(f"k{i}", f"la{i}", f"lv{i}", spec.km)
+    return ckt

@@ -1,0 +1,83 @@
+"""DC operating point.
+
+At DC, capacitors are open circuits and inductors are shorts; both limits
+fall out naturally from solving ``G x = b(0)`` with the dynamic matrix
+``C`` dropped (the inductor's branch row reduces to ``v+ - v- = 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spice.mna import MnaSystem, build_mna
+from repro.spice.netlist import Circuit
+
+__all__ = ["dc_operating_point", "DcSolution"]
+
+
+class DcSolution:
+    """Node voltages and branch currents at the DC operating point."""
+
+    def __init__(self, system: MnaSystem, x: np.ndarray) -> None:
+        self._system = system
+        self._x = x
+
+    def voltage(self, node) -> float:
+        """DC voltage of ``node`` (ground returns 0)."""
+        from repro.spice.netlist import GROUND, canonical_node
+
+        if canonical_node(node) == GROUND:
+            return 0.0
+        return float(self._x[self._system.voltage_row(node)])
+
+    def current(self, element_name: str) -> float:
+        """DC branch current of a voltage source or inductor."""
+        return float(self._x[self._system.current_row(element_name)])
+
+    @property
+    def vector(self) -> np.ndarray:
+        """Raw MNA solution vector (copy)."""
+        return self._x.copy()
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    time: float = 0.0,
+    gmin: float = 0.0,
+) -> DcSolution:
+    """Solve the DC operating point with sources held at ``t = time``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to solve.
+    time:
+        Time at which source waveforms are evaluated.
+    gmin:
+        Optional tiny conductance added from every node to ground, the
+        standard SPICE trick for floating (capacitor-only) nodes.  Zero by
+        default; pass e.g. ``1e-12`` if the solve reports singularity.
+
+    Raises
+    ------
+    SimulationError
+        If the MNA matrix is singular (floating node, inductor loop...).
+    """
+    system = build_mna(circuit)
+    g = system.g
+    if gmin:
+        g = g.copy()
+        diag = np.arange(system.n_nodes)
+        g[diag, diag] += gmin
+    b = system.rhs(time)
+    try:
+        x = np.linalg.solve(g, b)
+    except np.linalg.LinAlgError as exc:
+        raise SimulationError(
+            "singular DC system: check for floating nodes (capacitor-only "
+            "islands) or voltage-source/inductor loops; a small gmin may help"
+        ) from exc
+    if not np.all(np.isfinite(x)):
+        raise SimulationError("DC solution contains non-finite values")
+    return DcSolution(system, x)

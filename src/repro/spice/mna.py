@@ -1,0 +1,235 @@
+"""Modified Nodal Analysis (MNA) assembly.
+
+Builds the standard linear MNA description of a circuit::
+
+    G x(t) + C dx/dt = b(t)
+
+where ``x`` stacks the non-ground node voltages followed by the branch
+currents of voltage sources and inductors.  ``G`` collects resistive and
+topological stamps, ``C`` collects capacitive/inductive (dynamic) stamps,
+and ``b(t)`` collects the independent sources.
+
+Stamps (rows/cols ``i``/``j`` are the element's +/- node indices, ``m``
+its branch index):
+
+=================  =====================================================
+Resistor ``R``     ``G[i,i] += 1/R`` etc. (classic conductance stamp)
+Capacitor ``C``    same pattern into the ``C`` matrix
+Inductor ``L``     KCL: ``G[i,m] += 1``, ``G[j,m] -= 1``;
+                   branch: ``G[m,i] += 1``, ``G[m,j] -= 1``, ``C[m,m] -= L``
+V source           KCL: ``G[i,m] += 1``, ``G[j,m] -= 1``;
+                   branch: ``G[m,i] += 1``, ``G[m,j] -= 1``, ``b[m] = V(t)``
+I source           ``b[i] -= I(t)``, ``b[j] += I(t)``
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.spice.netlist import (
+    GROUND,
+    Capacitor,
+    Circuit,
+    CurrentControlledCurrentSource,
+    CurrentControlledVoltageSource,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageControlledCurrentSource,
+    VoltageControlledVoltageSource,
+    VoltageSource,
+)
+
+__all__ = ["MnaSystem", "build_mna"]
+
+
+@dataclass(frozen=True)
+class MnaSystem:
+    """Assembled MNA matrices and source map for a circuit.
+
+    Attributes
+    ----------
+    g, c:
+        Dense ``(n, n)`` matrices of the MNA description.
+    node_index:
+        Map from node name to row index (ground excluded).
+    branch_index:
+        Map from element name to its branch-current row index.
+    source_rows:
+        List of ``(row, sign, waveform)`` triples: ``b(t)[row] += sign *
+        waveform(t)``.
+    """
+
+    g: np.ndarray
+    c: np.ndarray
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    source_rows: tuple[tuple[int, float, Callable], ...]
+
+    @property
+    def size(self) -> int:
+        """Total number of MNA unknowns."""
+        return self.g.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self.node_index)
+
+    def rhs(self, t: float) -> np.ndarray:
+        """Source vector ``b(t)`` at a scalar time."""
+        b = np.zeros(self.size)
+        for row, sign, waveform in self.source_rows:
+            b[row] += sign * waveform.value_at(t)
+        return b
+
+    def rhs_matrix(self, times: np.ndarray) -> np.ndarray:
+        """``b(t)`` for an array of times, shape ``(len(times), size)``."""
+        times = np.asarray(times, dtype=float)
+        b = np.zeros((times.size, self.size))
+        for row, sign, waveform in self.source_rows:
+            b[:, row] += sign * np.asarray(waveform(times), dtype=float)
+        return b
+
+    def voltage_row(self, node) -> int:
+        """Row index of a node voltage (raises for unknown nodes)."""
+        from repro.spice.netlist import canonical_node
+
+        name = canonical_node(node)
+        if name == GROUND:
+            raise NetlistError("ground has no MNA row (its voltage is 0)")
+        try:
+            return self.node_index[name]
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r}") from None
+
+    def current_row(self, element_name: str) -> int:
+        """Row index of a branch current (V sources and inductors only)."""
+        try:
+            return self.branch_index[element_name]
+        except KeyError:
+            raise NetlistError(
+                f"element {element_name!r} has no branch current"
+            ) from None
+
+
+def build_mna(circuit: Circuit) -> MnaSystem:
+    """Assemble the MNA system for a validated circuit."""
+    circuit.validate()
+
+    nodes = circuit.node_names()
+    node_index = {name: i for i, name in enumerate(nodes)}
+    n = len(nodes)
+
+    branch_elements = [e for e in circuit.elements if e.needs_branch_current]
+    branch_index = {e.name: n + k for k, e in enumerate(branch_elements)}
+    size = n + len(branch_elements)
+
+    g = np.zeros((size, size))
+    c = np.zeros((size, size))
+    sources: list[tuple[int, float, Callable]] = []
+
+    def idx(node: str) -> int | None:
+        return None if node == GROUND else node_index[node]
+
+    def stamp_pair(matrix: np.ndarray, i, j, value: float) -> None:
+        """Conductance-style two-node stamp."""
+        if i is not None:
+            matrix[i, i] += value
+        if j is not None:
+            matrix[j, j] += value
+        if i is not None and j is not None:
+            matrix[i, j] -= value
+            matrix[j, i] -= value
+
+    def stamp_branch_topology(i, j, m: int) -> None:
+        """KCL coupling + voltage constraint pattern shared by L and V."""
+        if i is not None:
+            g[i, m] += 1.0
+            g[m, i] += 1.0
+        if j is not None:
+            g[j, m] -= 1.0
+            g[m, j] -= 1.0
+
+    def stamp_node_column(row: int, node: str, value: float) -> None:
+        """``g[row, node] += value`` skipping ground."""
+        col = idx(node)
+        if col is not None:
+            g[row, col] += value
+
+    for element in circuit.elements:
+        i = idx(element.node_pos)
+        j = idx(element.node_neg)
+        if isinstance(element, Resistor):
+            stamp_pair(g, i, j, 1.0 / element.value)
+        elif isinstance(element, Capacitor):
+            stamp_pair(c, i, j, element.value)
+        elif isinstance(element, Inductor):
+            m = branch_index[element.name]
+            stamp_branch_topology(i, j, m)
+            c[m, m] -= element.value
+        elif isinstance(element, VoltageControlledVoltageSource):
+            # v_i - v_j - gain*(v_cp - v_cn) = 0, plus KCL coupling.
+            m = branch_index[element.name]
+            stamp_branch_topology(i, j, m)
+            stamp_node_column(m, element.ctrl_pos, -element.gain)
+            stamp_node_column(m, element.ctrl_neg, +element.gain)
+        elif isinstance(element, CurrentControlledVoltageSource):
+            # v_i - v_j - r * I(ctrl) = 0.
+            m = branch_index[element.name]
+            stamp_branch_topology(i, j, m)
+            g[m, branch_index[element.ctrl_source]] -= element.transresistance
+        elif isinstance(element, VoltageSource):
+            m = branch_index[element.name]
+            stamp_branch_topology(i, j, m)
+            sources.append((m, 1.0, element.waveform))
+        elif isinstance(element, VoltageControlledCurrentSource):
+            # gm*(v_cp - v_cn) leaves node_pos, enters node_neg.
+            gm = element.transconductance
+            if i is not None:
+                stamp_node_column(i, element.ctrl_pos, +gm)
+                stamp_node_column(i, element.ctrl_neg, -gm)
+            if j is not None:
+                stamp_node_column(j, element.ctrl_pos, -gm)
+                stamp_node_column(j, element.ctrl_neg, +gm)
+        elif isinstance(element, CurrentControlledCurrentSource):
+            m_ctrl = branch_index[element.ctrl_source]
+            if i is not None:
+                g[i, m_ctrl] += element.gain
+            if j is not None:
+                g[j, m_ctrl] -= element.gain
+        elif isinstance(element, CurrentSource):
+            if i is not None:
+                sources.append((i, -1.0, element.waveform))
+            if j is not None:
+                sources.append((j, 1.0, element.waveform))
+        else:  # pragma: no cover - future element types
+            raise NetlistError(f"unsupported element type: {type(element).__name__}")
+
+    # Mutual inductances: M = k*sqrt(L1*L2) couples the two branch
+    # equations (v = L dI/dt + M dI_other/dt).
+    inductor_values = {
+        e.name: e.value for e in circuit.elements if isinstance(e, Inductor)
+    }
+    for mutual in circuit.mutual_inductances:
+        m1 = branch_index[mutual.inductor1]
+        m2 = branch_index[mutual.inductor2]
+        mval = mutual.coupling * np.sqrt(
+            inductor_values[mutual.inductor1] * inductor_values[mutual.inductor2]
+        )
+        c[m1, m2] -= mval
+        c[m2, m1] -= mval
+
+    return MnaSystem(
+        g=g,
+        c=c,
+        node_index=node_index,
+        branch_index=branch_index,
+        source_rows=tuple(sources),
+    )

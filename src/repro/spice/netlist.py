@@ -1,0 +1,610 @@
+"""Circuit netlist representation.
+
+A :class:`Circuit` is a named collection of two-terminal elements between
+named nodes.  Node ``"0"`` (aliases ``"gnd"``, ``"GND"``, ``0``) is ground.
+
+Supported elements mirror the linear subset of SPICE that the paper's
+experiments need (the paper itself models gates as linear resistors and
+capacitors driven by ideal steps):
+
+- :class:`Resistor`, :class:`Capacitor` (with optional initial voltage),
+  :class:`Inductor` (with optional initial current),
+- :class:`VoltageSource` / :class:`CurrentSource` carrying a
+  :class:`SourceWaveform` (:class:`Dc`, :class:`Step`, :class:`Pulse`,
+  :class:`Sine`, :class:`PiecewiseLinear`).
+
+Example
+-------
+>>> from repro.spice.netlist import Circuit, Step
+>>> ckt = Circuit("rc lowpass")
+>>> _ = ckt.add_voltage_source("vin", "in", "0", Step(0.0, 1.0))
+>>> _ = ckt.add_resistor("r1", "in", "out", 1e3)
+>>> _ = ckt.add_capacitor("c1", "out", "0", 1e-12)
+>>> sorted(ckt.node_names())
+['in', 'out']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import NetlistError, require_nonnegative, require_positive
+
+__all__ = [
+    "GROUND",
+    "SourceWaveform",
+    "Dc",
+    "Step",
+    "Pulse",
+    "Sine",
+    "PiecewiseLinear",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "MutualInductance",
+    "VoltageControlledVoltageSource",
+    "VoltageControlledCurrentSource",
+    "CurrentControlledVoltageSource",
+    "CurrentControlledCurrentSource",
+    "Circuit",
+]
+
+GROUND = "0"
+_GROUND_ALIASES = {"0", "gnd", "GND", "ground", 0}
+
+
+def canonical_node(node) -> str:
+    """Normalize a node label; ground aliases collapse to ``"0"``."""
+    if node in _GROUND_ALIASES:
+        return GROUND
+    name = str(node)
+    if not name:
+        raise NetlistError("node name must be non-empty")
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Source waveforms
+# ---------------------------------------------------------------------------
+
+
+class SourceWaveform:
+    """Base class: a scalar function of time, vectorized over arrays."""
+
+    def __call__(self, t):
+        raise NotImplementedError
+
+    def value_at(self, t: float) -> float:
+        """Scalar evaluation convenience."""
+        return float(np.asarray(self(np.asarray(t, dtype=float))))
+
+
+@dataclass(frozen=True)
+class Dc(SourceWaveform):
+    """Constant value."""
+
+    value: float
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.full_like(t, self.value)
+
+
+@dataclass(frozen=True)
+class Step(SourceWaveform):
+    """Step from ``v0`` to ``v1`` at ``t_delay``, optional linear ramp.
+
+    With ``t_rise == 0`` this is the ideal step input the paper assumes
+    ("a fast rising signal that can be approximated by a step signal").
+    The ideal step switches at ``t_delay`` *exclusive* -- the value at
+    exactly ``t_delay`` is still ``v0`` -- so a transient analysis whose
+    initial operating point is solved at ``t = t_delay`` starts from the
+    pre-step state, as expected for a step response.
+    """
+
+    v0: float = 0.0
+    v1: float = 1.0
+    t_delay: float = 0.0
+    t_rise: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative("t_delay", self.t_delay)
+        require_nonnegative("t_rise", self.t_rise)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        if self.t_rise == 0.0:
+            return np.where(t > self.t_delay, self.v1, self.v0)
+        frac = np.clip((t - self.t_delay) / self.t_rise, 0.0, 1.0)
+        return self.v0 + (self.v1 - self.v0) * frac
+
+
+@dataclass(frozen=True)
+class Pulse(SourceWaveform):
+    """SPICE-style periodic trapezoidal pulse."""
+
+    v0: float
+    v1: float
+    t_delay: float = 0.0
+    t_rise: float = 0.0
+    t_fall: float = 0.0
+    width: float = 1.0
+    period: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative("t_delay", self.t_delay)
+        require_nonnegative("t_rise", self.t_rise)
+        require_nonnegative("t_fall", self.t_fall)
+        require_positive("width", self.width)
+        require_positive("period", self.period)
+        if self.t_rise + self.width + self.t_fall > self.period:
+            raise NetlistError("pulse rise + width + fall must fit in the period")
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        local = np.mod(t - self.t_delay, self.period)
+        local = np.where(t < self.t_delay, -1.0, local)
+        v = np.full_like(t, self.v0)
+        if self.t_rise > 0:
+            rising = (local >= 0) & (local < self.t_rise)
+            v = np.where(
+                rising, self.v0 + (self.v1 - self.v0) * local / self.t_rise, v
+            )
+        high = (local >= self.t_rise) & (local < self.t_rise + self.width)
+        v = np.where(high, self.v1, v)
+        fall_end = self.t_rise + self.width + self.t_fall
+        if self.t_fall > 0:
+            falling = (local >= self.t_rise + self.width) & (local < fall_end)
+            frac = (local - self.t_rise - self.width) / self.t_fall
+            v = np.where(falling, self.v1 + (self.v0 - self.v1) * frac, v)
+        return v
+
+
+@dataclass(frozen=True)
+class Sine(SourceWaveform):
+    """``offset + amplitude * sin(2 pi f (t - delay))`` for ``t >= delay``."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    t_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("frequency", self.frequency)
+        require_nonnegative("t_delay", self.t_delay)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        phase = 2.0 * np.pi * self.frequency * (t - self.t_delay)
+        return np.where(
+            t >= self.t_delay, self.offset + self.amplitude * np.sin(phase), self.offset
+        )
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear(SourceWaveform):
+    """Piecewise-linear waveform through ``(time, value)`` breakpoints."""
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        pts = tuple((float(a), float(b)) for a, b in self.points)
+        if len(pts) < 2:
+            raise NetlistError("PWL needs at least two points")
+        times = [p[0] for p in pts]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise NetlistError("PWL times must be strictly increasing")
+        object.__setattr__(self, "points", pts)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        xs = np.array([p[0] for p in self.points])
+        ys = np.array([p[1] for p in self.points])
+        return np.interp(t, xs, ys)
+
+
+# ---------------------------------------------------------------------------
+# Elements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Element:
+    """Common two-terminal element data."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("element name must be non-empty")
+        object.__setattr__(self, "node_pos", canonical_node(self.node_pos))
+        object.__setattr__(self, "node_neg", canonical_node(self.node_neg))
+        if self.node_pos == self.node_neg:
+            raise NetlistError(
+                f"element {self.name!r} connects node {self.node_pos!r} to itself"
+            )
+
+    @property
+    def needs_branch_current(self) -> bool:
+        """True when MNA allocates an extra unknown (branch current)."""
+        return False
+
+
+@dataclass(frozen=True)
+class Resistor(Element):
+    """Linear resistor (ohms)."""
+
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(f"resistor {self.name} value", self.value)
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    """Linear capacitor (farads) with optional initial voltage."""
+
+    value: float = 0.0
+    initial_voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(f"capacitor {self.name} value", self.value)
+
+
+@dataclass(frozen=True)
+class Inductor(Element):
+    """Linear inductor (henries) with optional initial current.
+
+    MNA allocates a branch-current unknown; positive current flows from
+    ``node_pos`` to ``node_neg`` through the inductor.
+    """
+
+    value: float = 0.0
+    initial_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive(f"inductor {self.name} value", self.value)
+
+    @property
+    def needs_branch_current(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """Independent voltage source; ``node_pos`` is the + terminal.
+
+    The MNA branch current is the current flowing from ``node_pos``
+    through the source to ``node_neg`` (SPICE convention: a positive
+    branch current means the source is *absorbing* power).
+    """
+
+    waveform: SourceWaveform = field(default_factory=lambda: Dc(0.0))
+
+    @property
+    def needs_branch_current(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """Independent current source.
+
+    A positive value drives current *from* ``node_pos`` *to* ``node_neg``
+    through the source (i.e. it pulls current out of ``node_pos`` and
+    injects it into ``node_neg``).
+    """
+
+    waveform: SourceWaveform = field(default_factory=lambda: Dc(0.0))
+
+
+@dataclass(frozen=True)
+class MutualInductance:
+    """Magnetic coupling between two named inductors (SPICE ``K``).
+
+    ``coupling`` is the dimensionless coefficient ``k`` with
+    ``M = k * sqrt(L1 * L2)``; on-chip neighboring wires typically show
+    ``k`` of 0.4-0.7.  Not an :class:`Element` (it has no nodes of its
+    own) -- it references two inductors already in the circuit.
+    """
+
+    name: str
+    inductor1: str
+    inductor2: str
+    coupling: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("mutual inductance name must be non-empty")
+        if self.inductor1 == self.inductor2:
+            raise NetlistError(
+                f"mutual {self.name!r} couples {self.inductor1!r} to itself"
+            )
+        if not -1.0 < self.coupling < 1.0 or self.coupling == 0:
+            raise NetlistError(
+                f"coupling coefficient must be in (-1, 1) and nonzero, "
+                f"got {self.coupling!r}"
+            )
+
+
+@dataclass(frozen=True)
+class VoltageControlledVoltageSource(Element):
+    """VCVS (SPICE ``E``): ``V(out) = gain * V(ctrl_pos, ctrl_neg)``."""
+
+    ctrl_pos: str = GROUND
+    ctrl_neg: str = GROUND
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "ctrl_pos", canonical_node(self.ctrl_pos))
+        object.__setattr__(self, "ctrl_neg", canonical_node(self.ctrl_neg))
+
+    @property
+    def needs_branch_current(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VoltageControlledCurrentSource(Element):
+    """VCCS (SPICE ``G``): current ``gm * V(ctrl_pos, ctrl_neg)`` flows
+    from ``node_pos`` through the source to ``node_neg``."""
+
+    ctrl_pos: str = GROUND
+    ctrl_neg: str = GROUND
+    transconductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "ctrl_pos", canonical_node(self.ctrl_pos))
+        object.__setattr__(self, "ctrl_neg", canonical_node(self.ctrl_neg))
+
+
+@dataclass(frozen=True)
+class CurrentControlledVoltageSource(Element):
+    """CCVS (SPICE ``H``): ``V(out) = transresistance * I(ctrl_source)``.
+
+    The controlling current is the branch current of a named voltage
+    source (or inductor) already in the circuit.
+    """
+
+    ctrl_source: str = ""
+    transresistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.ctrl_source:
+            raise NetlistError(f"CCVS {self.name!r} needs a controlling source")
+
+    @property
+    def needs_branch_current(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class CurrentControlledCurrentSource(Element):
+    """CCCS (SPICE ``F``): current ``gain * I(ctrl_source)`` flows from
+    ``node_pos`` through the source to ``node_neg``."""
+
+    ctrl_source: str = ""
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.ctrl_source:
+            raise NetlistError(f"CCCS {self.name!r} needs a controlling source")
+
+
+# ---------------------------------------------------------------------------
+# Circuit
+# ---------------------------------------------------------------------------
+
+
+class Circuit:
+    """A mutable netlist: elements between named nodes.
+
+    Elements are added via the ``add_*`` helpers (or :meth:`add` for a
+    prebuilt element).  Names must be unique across the circuit.
+    """
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._elements: list[Element] = []
+        self._mutuals: list[MutualInductance] = []
+        self._names: set[str] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add a prebuilt element; returns it for chaining."""
+        if element.name in self._names:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        self._elements.append(element)
+        return element
+
+    def add_resistor(self, name: str, n1, n2, value: float) -> Resistor:
+        """Add a resistor of ``value`` ohms between ``n1`` and ``n2``."""
+        return self.add(Resistor(name, n1, n2, value))  # type: ignore[return-value]
+
+    def add_capacitor(
+        self, name: str, n1, n2, value: float, initial_voltage: float = 0.0
+    ) -> Capacitor:
+        """Add a capacitor of ``value`` farads between ``n1`` and ``n2``."""
+        return self.add(Capacitor(name, n1, n2, value, initial_voltage))  # type: ignore[return-value]
+
+    def add_inductor(
+        self, name: str, n1, n2, value: float, initial_current: float = 0.0
+    ) -> Inductor:
+        """Add an inductor of ``value`` henries between ``n1`` and ``n2``."""
+        return self.add(Inductor(name, n1, n2, value, initial_current))  # type: ignore[return-value]
+
+    def add_voltage_source(
+        self, name: str, n_pos, n_neg, waveform: SourceWaveform | float
+    ) -> VoltageSource:
+        """Add a voltage source; a bare number is treated as DC."""
+        if isinstance(waveform, (int, float)):
+            waveform = Dc(float(waveform))
+        return self.add(VoltageSource(name, n_pos, n_neg, waveform))  # type: ignore[return-value]
+
+    def add_current_source(
+        self, name: str, n_pos, n_neg, waveform: SourceWaveform | float
+    ) -> CurrentSource:
+        """Add a current source; a bare number is treated as DC."""
+        if isinstance(waveform, (int, float)):
+            waveform = Dc(float(waveform))
+        return self.add(CurrentSource(name, n_pos, n_neg, waveform))  # type: ignore[return-value]
+
+    def add_mutual_inductance(
+        self, name: str, inductor1: str, inductor2: str, coupling: float
+    ) -> MutualInductance:
+        """Magnetically couple two inductors already in the circuit."""
+        if name in self._names:
+            raise NetlistError(f"duplicate element name {name!r}")
+        mutual = MutualInductance(name, inductor1, inductor2, coupling)
+        self._names.add(name)
+        self._mutuals.append(mutual)
+        return mutual
+
+    def add_vcvs(
+        self, name: str, n_pos, n_neg, ctrl_pos, ctrl_neg, gain: float
+    ) -> VoltageControlledVoltageSource:
+        """Add a voltage-controlled voltage source (SPICE ``E``)."""
+        return self.add(  # type: ignore[return-value]
+            VoltageControlledVoltageSource(
+                name, n_pos, n_neg, ctrl_pos, ctrl_neg, gain
+            )
+        )
+
+    def add_vccs(
+        self, name: str, n_pos, n_neg, ctrl_pos, ctrl_neg, transconductance: float
+    ) -> VoltageControlledCurrentSource:
+        """Add a voltage-controlled current source (SPICE ``G``)."""
+        return self.add(  # type: ignore[return-value]
+            VoltageControlledCurrentSource(
+                name, n_pos, n_neg, ctrl_pos, ctrl_neg, transconductance
+            )
+        )
+
+    def add_ccvs(
+        self, name: str, n_pos, n_neg, ctrl_source: str, transresistance: float
+    ) -> CurrentControlledVoltageSource:
+        """Add a current-controlled voltage source (SPICE ``H``)."""
+        return self.add(  # type: ignore[return-value]
+            CurrentControlledVoltageSource(
+                name, n_pos, n_neg, ctrl_source, transresistance
+            )
+        )
+
+    def add_cccs(
+        self, name: str, n_pos, n_neg, ctrl_source: str, gain: float
+    ) -> CurrentControlledCurrentSource:
+        """Add a current-controlled current source (SPICE ``F``)."""
+        return self.add(  # type: ignore[return-value]
+            CurrentControlledCurrentSource(name, n_pos, n_neg, ctrl_source, gain)
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        """All elements, in insertion order."""
+        return tuple(self._elements)
+
+    @property
+    def mutual_inductances(self) -> tuple[MutualInductance, ...]:
+        """All mutual-inductance couplings, in insertion order."""
+        return tuple(self._mutuals)
+
+    def elements_of_type(self, kind: type) -> list[Element]:
+        """All elements of the given class."""
+        return [e for e in self._elements if isinstance(e, kind)]
+
+    def node_names(self) -> list[str]:
+        """All non-ground node names, in order of first appearance."""
+        seen: dict[str, None] = {}
+        for e in self._elements:
+            for node in (e.node_pos, e.node_neg):
+                if node != GROUND and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.title!r}, {len(self._elements)} elements, "
+            f"{len(self.node_names())} nodes)"
+        )
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Sanity-check the netlist.
+
+        Raises :class:`NetlistError` if the circuit is empty, has no ground
+        reference, or contains nodes reachable only through capacitors'
+        ideal DC-open (which would make the DC operating point singular).
+        """
+        if not self._elements:
+            raise NetlistError("circuit has no elements")
+        touches_ground = any(
+            GROUND in (e.node_pos, e.node_neg) for e in self._elements
+        )
+        if not touches_ground:
+            raise NetlistError("circuit has no connection to ground")
+        self._check_references()
+        self._check_connectivity()
+
+    def _check_references(self) -> None:
+        """Mutuals and current-controlled sources must point at real
+        branch-current-carrying elements."""
+        inductors = {e.name for e in self._elements if isinstance(e, Inductor)}
+        branches = {
+            e.name for e in self._elements if e.needs_branch_current
+        }
+        for mutual in self._mutuals:
+            for ref in (mutual.inductor1, mutual.inductor2):
+                if ref not in inductors:
+                    raise NetlistError(
+                        f"mutual {mutual.name!r} references unknown "
+                        f"inductor {ref!r}"
+                    )
+        for element in self._elements:
+            ctrl = getattr(element, "ctrl_source", None)
+            if ctrl is not None and ctrl not in branches:
+                raise NetlistError(
+                    f"{element.name!r} references {ctrl!r}, which carries "
+                    "no branch current (must be a V source, inductor, "
+                    "VCVS or CCVS)"
+                )
+
+    def _check_connectivity(self) -> None:
+        """Every node must be reachable from ground through any elements."""
+        adjacency: dict[str, set[str]] = {}
+        for e in self._elements:
+            adjacency.setdefault(e.node_pos, set()).add(e.node_neg)
+            adjacency.setdefault(e.node_neg, set()).add(e.node_pos)
+        reached = {GROUND}
+        frontier = [GROUND]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+        unreachable = [n for n in self.node_names() if n not in reached]
+        if unreachable:
+            raise NetlistError(f"nodes not connected to ground: {unreachable}")

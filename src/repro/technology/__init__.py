@@ -1,0 +1,50 @@
+"""Technology substrate: wire parasitics and buffer parameters.
+
+The paper's experiments assume impedance values from an IBM 0.25 um
+process and the measurement-based tables of Deutsch [7] -- neither is
+public.  This subpackage replaces them with:
+
+- :mod:`repro.technology.materials`  -- conductor/dielectric constants,
+- :mod:`repro.technology.parasitics` -- per-unit-length R, L, C from wire
+  geometry (standard microstrip/partial-inductance formulas),
+- :mod:`repro.technology.nodes`      -- a table of synthetic technology
+  nodes exposing minimum-buffer ``R0``/``C0`` and representative wiring
+  layers, calibrated so the 0.25 um node shows ``T_{L/R} ~= 5`` on global
+  wires, matching the paper's "common for a current 0.25 um technology".
+
+Only the products ``Rt, Lt, Ct, R0, C0`` enter the paper's equations, so
+any parasitics model that produces realistic per-unit-length values
+preserves the dimensionless groups the experiments sweep.
+"""
+
+from repro.technology.materials import (
+    COPPER_RESISTIVITY,
+    ALUMINUM_RESISTIVITY,
+    EPS0,
+    MU0,
+    SIO2_RELATIVE_PERMITTIVITY,
+)
+from repro.technology.parasitics import (
+    WireGeometry,
+    extract_rlc,
+    wire_capacitance_per_length,
+    wire_inductance_per_length,
+    wire_resistance_per_length,
+)
+from repro.technology.nodes import TechnologyNode, PREDEFINED_NODES, node_by_name
+
+__all__ = [
+    "COPPER_RESISTIVITY",
+    "ALUMINUM_RESISTIVITY",
+    "EPS0",
+    "MU0",
+    "SIO2_RELATIVE_PERMITTIVITY",
+    "WireGeometry",
+    "extract_rlc",
+    "wire_resistance_per_length",
+    "wire_capacitance_per_length",
+    "wire_inductance_per_length",
+    "TechnologyNode",
+    "PREDEFINED_NODES",
+    "node_by_name",
+]

@@ -1,0 +1,182 @@
+"""Synthetic technology nodes.
+
+The paper quotes impedances "from [7]" (Deutsch's IBM measurements) and
+a 0.25 um process; neither dataset is public.  This module provides a
+table of *synthetic but physically derived* nodes: minimum-buffer
+``R0``/``C0`` follow typical published inverter data, and wire parasitics
+come from :mod:`repro.technology.parasitics` applied to representative
+layer geometries.  The 0.25 um node's thick upper-metal wiring yields
+``T_{L/R} ~= 5``, matching the paper's "common for a current 0.25 um
+technology" anchor; successive nodes shrink ``R0*C0``, driving
+``T_{L/R}`` up exactly as the paper's scaling argument predicts
+(experiment EXP-X4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.repeater import Buffer, inductance_time_ratio
+from repro.errors import ParameterError, require_positive
+from repro.technology.materials import (
+    ALUMINUM_RESISTIVITY,
+    COPPER_RESISTIVITY,
+    LOWK_RELATIVE_PERMITTIVITY,
+    SIO2_RELATIVE_PERMITTIVITY,
+)
+from repro.technology.parasitics import WireGeometry, extract_rlc
+
+__all__ = ["TechnologyNode", "PREDEFINED_NODES", "node_by_name"]
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS process generation, as the paper's equations see it.
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``"250nm"``).
+    feature_size:
+        Drawn gate length (m).
+    vdd:
+        Supply voltage (V).
+    r0, c0:
+        Minimum-size buffer output resistance (ohm) / input cap (F).
+    rise_time:
+        Typical driver output transition time (s) -- used by the
+        inductance-criterion analysis (ref. [8] window).
+    global_wire, intermediate_wire:
+        Representative wiring geometries for the thick top-level layer
+        (clock/bus spines) and a mid-stack signal layer.
+    """
+
+    name: str
+    feature_size: float
+    vdd: float
+    r0: float
+    c0: float
+    rise_time: float
+    global_wire: WireGeometry
+    intermediate_wire: WireGeometry
+
+    def __post_init__(self) -> None:
+        require_positive("feature_size", self.feature_size)
+        require_positive("vdd", self.vdd)
+        require_positive("r0", self.r0)
+        require_positive("c0", self.c0)
+        require_positive("rise_time", self.rise_time)
+
+    def min_buffer(self) -> Buffer:
+        """The node's minimum-size repeater."""
+        return Buffer(r0=self.r0, c0=self.c0)
+
+    @property
+    def intrinsic_delay(self) -> float:
+        """``R0 * C0`` -- the gate time constant that scaling shrinks."""
+        return self.r0 * self.c0
+
+    def wire_rlc(self, layer: str = "global") -> tuple[float, float, float]:
+        """Per-unit-length ``(R, L, C)`` of the chosen layer."""
+        geometry = self._layer(layer)
+        return extract_rlc(geometry)
+
+    def line(
+        self,
+        length: float,
+        layer: str = "global",
+        driver_size: float = 0.0,
+        load_size: float = 0.0,
+    ) -> DriverLineLoad:
+        """A wire of ``length`` meters on the chosen layer.
+
+        ``driver_size``/``load_size`` are buffer size multiples ``h``; 0
+        leaves the corresponding gate impedance out.
+        """
+        require_positive("length", length)
+        r, l, c = self.wire_rlc(layer)
+        rtr = self.r0 / driver_size if driver_size > 0 else 0.0
+        cl = self.c0 * load_size if load_size > 0 else 0.0
+        return DriverLineLoad.from_per_unit_length(r, l, c, length, rtr=rtr, cl=cl)
+
+    def tlr(self, layer: str = "global") -> float:
+        """``T_{L/R}`` of the layer (length-independent, eq. 13)."""
+        # Any positive length works: Lt/Rt is per-unit-length L/R.
+        line = self.line(1e-3, layer=layer)
+        return inductance_time_ratio(line, self.min_buffer())
+
+    def _layer(self, layer: str) -> WireGeometry:
+        if layer == "global":
+            return self.global_wire
+        if layer == "intermediate":
+            return self.intermediate_wire
+        raise ParameterError(
+            f"unknown layer {layer!r}; expected 'global' or 'intermediate'"
+        )
+
+
+def _node(
+    name: str,
+    feature_nm: float,
+    vdd: float,
+    r0: float,
+    c0_ff: float,
+    rise_ps: float,
+    global_wt_um: tuple[float, float, float],
+    mid_wt_um: tuple[float, float, float],
+    resistivity: float,
+    eps_r: float,
+) -> TechnologyNode:
+    gw, gt, gh = global_wt_um
+    mw, mt, mh = mid_wt_um
+    return TechnologyNode(
+        name=name,
+        feature_size=feature_nm * 1e-9,
+        vdd=vdd,
+        r0=r0,
+        c0=c0_ff * 1e-15,
+        rise_time=rise_ps * 1e-12,
+        global_wire=WireGeometry(
+            width=gw * 1e-6,
+            thickness=gt * 1e-6,
+            height=gh * 1e-6,
+            eps_r=eps_r,
+            resistivity=resistivity,
+        ),
+        intermediate_wire=WireGeometry(
+            width=mw * 1e-6,
+            thickness=mt * 1e-6,
+            height=mh * 1e-6,
+            eps_r=eps_r,
+            resistivity=resistivity,
+        ),
+    )
+
+
+#: Five synthetic generations.  Buffer data follows typical published
+#: inverter characteristics; upper-metal geometry stays thick while the
+#: gate time constant shrinks ~30% per node, so T_{L/R} grows.
+PREDEFINED_NODES: tuple[TechnologyNode, ...] = (
+    _node("350nm", 350, 3.3, 4500, 7.0, 120, (4.0, 1.6, 1.6), (1.2, 0.8, 0.8),
+          ALUMINUM_RESISTIVITY, SIO2_RELATIVE_PERMITTIVITY),
+    _node("250nm", 250, 2.5, 5000, 5.0, 80, (4.0, 2.0, 2.0), (1.0, 0.7, 0.7),
+          COPPER_RESISTIVITY, SIO2_RELATIVE_PERMITTIVITY),
+    _node("180nm", 180, 1.8, 5500, 3.5, 55, (4.0, 2.0, 2.0), (0.8, 0.6, 0.6),
+          COPPER_RESISTIVITY, SIO2_RELATIVE_PERMITTIVITY),
+    _node("130nm", 130, 1.3, 6000, 2.4, 38, (4.0, 2.2, 2.2), (0.6, 0.5, 0.5),
+          COPPER_RESISTIVITY, LOWK_RELATIVE_PERMITTIVITY),
+    _node("100nm", 100, 1.1, 6500, 1.7, 26, (4.0, 2.2, 2.2), (0.5, 0.45, 0.45),
+          COPPER_RESISTIVITY, LOWK_RELATIVE_PERMITTIVITY),
+    _node("70nm", 70, 0.9, 7000, 1.2, 18, (4.0, 2.4, 2.4), (0.4, 0.4, 0.4),
+          COPPER_RESISTIVITY, LOWK_RELATIVE_PERMITTIVITY),
+)
+
+
+def node_by_name(name: str) -> TechnologyNode:
+    """Look up a predefined node (e.g. ``"250nm"``)."""
+    for node in PREDEFINED_NODES:
+        if node.name == name:
+            return node
+    known = ", ".join(n.name for n in PREDEFINED_NODES)
+    raise ParameterError(f"unknown node {name!r}; known nodes: {known}")

@@ -1,0 +1,237 @@
+"""Frequency-domain two-port (ABCD / chain-matrix) algebra.
+
+A two-port is represented by its chain matrix
+
+    [V1]   [A  B] [V2]
+    [I1] = [C  D] [I2]
+
+with all four entries functions of the complex frequency ``s``.  Cascading
+two-ports multiplies their chain matrices; a network terminated by a load
+admittance ``YL(s)`` and driven through a source impedance ``Zs(s)`` has the
+voltage transfer function
+
+    Vout/Vin = 1 / ((A + B*YL) + Zs*(C + D*YL)).
+
+The distributed RLC line of the paper (eq. 1-2) is the two-port
+
+    A = D = cosh(theta),  B = Z * sinhc(theta),  C = Y * sinhc(theta)
+
+with total series impedance ``Z = Rt + s*Lt``, total shunt admittance
+``Y = Gt + s*Ct``, electrical length ``theta = sqrt(Z*Y)``, and
+``sinhc(x) = sinh(x)/x``.  Writing B and C via ``sinhc`` keeps every entry
+an *even* function of ``theta``, so the square-root branch cancels exactly.
+
+These exact frequency-domain entries grow like ``exp(Re theta)``; for the
+overflow-free evaluation used in step-response computations see
+:mod:`repro.tline.transfer`, which evaluates the complete Fig. 1 transfer
+function in exponentially scaled form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.errors import ParameterError, require_nonnegative
+
+__all__ = [
+    "TwoPort",
+    "series_impedance",
+    "shunt_admittance",
+    "series_resistor",
+    "series_inductor",
+    "shunt_capacitor",
+    "rlc_line",
+    "cosh_theta",
+    "sinhc_theta",
+]
+
+ImmittanceLike = Union[float, complex, Callable[[np.ndarray], np.ndarray]]
+
+
+def _as_function(value: ImmittanceLike) -> Callable[[np.ndarray], np.ndarray]:
+    """Promote a constant immittance to a vectorized function of ``s``."""
+    if callable(value):
+        return value
+    constant = complex(value)
+
+    def const_fn(s: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(s, dtype=complex), constant)
+
+    return const_fn
+
+
+def cosh_theta(theta_sq: np.ndarray) -> np.ndarray:
+    """``cosh(sqrt(theta_sq))`` evaluated branch-safely.
+
+    ``cosh`` is even, so the principal square root is always valid.  Small
+    arguments use the Taylor series to avoid any precision loss.
+    """
+    theta_sq = np.asarray(theta_sq, dtype=complex)
+    theta = np.sqrt(theta_sq)
+    small = np.abs(theta) < 1e-6
+    out = np.where(small, 1.0 + theta_sq / 2.0 + theta_sq**2 / 24.0, np.cosh(theta))
+    return out
+
+
+def sinhc_theta(theta_sq: np.ndarray) -> np.ndarray:
+    """``sinh(sqrt(theta_sq)) / sqrt(theta_sq)``, branch-safe (even function)."""
+    theta_sq = np.asarray(theta_sq, dtype=complex)
+    theta = np.sqrt(theta_sq)
+    small = np.abs(theta) < 1e-6
+    # Where theta is tiny, sinh(theta)/theta -> 1 + theta^2/6 + theta^4/120.
+    safe_theta = np.where(small, 1.0, theta)
+    out = np.where(
+        small,
+        1.0 + theta_sq / 6.0 + theta_sq**2 / 120.0,
+        np.sinh(safe_theta) / safe_theta,
+    )
+    return out
+
+
+@dataclass(frozen=True)
+class TwoPort:
+    """A linear two-port described by its chain (ABCD) matrix.
+
+    Attributes
+    ----------
+    entries:
+        Function mapping a complex frequency array ``s`` to the tuple
+        ``(A, B, C, D)`` of equally shaped complex arrays.
+    label:
+        Human-readable description used in ``repr``.
+    """
+
+    entries: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+    label: str = "two-port"
+
+    def abcd(self, s) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate the chain matrix at complex frequencies ``s``."""
+        s = np.asarray(s, dtype=complex)
+        return self.entries(s)
+
+    def cascade(self, other: "TwoPort") -> "TwoPort":
+        """Chain ``self`` (input side) with ``other`` (output side)."""
+        if not isinstance(other, TwoPort):
+            raise ParameterError(f"can only cascade TwoPort with TwoPort, got {other!r}")
+
+        def entries(s: np.ndarray):
+            a1, b1, c1, d1 = self.entries(s)
+            a2, b2, c2, d2 = other.entries(s)
+            return (
+                a1 * a2 + b1 * c2,
+                a1 * b2 + b1 * d2,
+                c1 * a2 + d1 * c2,
+                c1 * b2 + d1 * d2,
+            )
+
+        return TwoPort(entries, label=f"{self.label} -> {other.label}")
+
+    def __matmul__(self, other: "TwoPort") -> "TwoPort":
+        return self.cascade(other)
+
+    def transfer_function(
+        self,
+        source_impedance: ImmittanceLike = 0.0,
+        load_admittance: ImmittanceLike = 0.0,
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Voltage transfer function ``Vout/Vin`` with the given terminations."""
+        zs = _as_function(source_impedance)
+        yl = _as_function(load_admittance)
+
+        def transfer(s) -> np.ndarray:
+            s = np.asarray(s, dtype=complex)
+            a, b, c, d = self.entries(s)
+            return 1.0 / ((a + b * yl(s)) + zs(s) * (c + d * yl(s)))
+
+        return transfer
+
+    def input_impedance(
+        self, load_admittance: ImmittanceLike = 0.0
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Driving-point impedance seen at port 1 with port 2 terminated."""
+        yl = _as_function(load_admittance)
+
+        def zin(s) -> np.ndarray:
+            s = np.asarray(s, dtype=complex)
+            a, b, c, d = self.entries(s)
+            return (a + b * yl(s)) / (c + d * yl(s))
+
+        return zin
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TwoPort({self.label})"
+
+
+def series_impedance(z: ImmittanceLike, label: str = "series Z") -> TwoPort:
+    """Two-port of a single series impedance ``z``."""
+    zf = _as_function(z)
+
+    def entries(s: np.ndarray):
+        one = np.ones_like(s)
+        zero = np.zeros_like(s)
+        return one, zf(s), zero, one
+
+    return TwoPort(entries, label=label)
+
+
+def shunt_admittance(y: ImmittanceLike, label: str = "shunt Y") -> TwoPort:
+    """Two-port of a single shunt admittance ``y``."""
+    yf = _as_function(y)
+
+    def entries(s: np.ndarray):
+        one = np.ones_like(s)
+        zero = np.zeros_like(s)
+        return one, zero, yf(s), one
+
+    return TwoPort(entries, label=label)
+
+
+def series_resistor(resistance: float) -> TwoPort:
+    """Series resistor two-port."""
+    require_nonnegative("resistance", resistance)
+    return series_impedance(resistance, label=f"R={resistance:g}")
+
+
+def series_inductor(inductance: float) -> TwoPort:
+    """Series inductor two-port (impedance ``s*L``)."""
+    require_nonnegative("inductance", inductance)
+    return series_impedance(lambda s: s * inductance, label=f"L={inductance:g}")
+
+
+def shunt_capacitor(capacitance: float) -> TwoPort:
+    """Shunt capacitor two-port (admittance ``s*C``)."""
+    require_nonnegative("capacitance", capacitance)
+    return shunt_admittance(lambda s: s * capacitance, label=f"C={capacitance:g}")
+
+
+def rlc_line(
+    rt: float,
+    lt: float,
+    ct: float,
+    gt: float = 0.0,
+) -> TwoPort:
+    """Exact two-port of a uniform distributed RLC(G) line.
+
+    Parameters are the *total* series resistance ``rt`` and inductance
+    ``lt``, and the total shunt capacitance ``ct`` and conductance ``gt``
+    (paper notation: ``Rt = R*l`` etc.).
+    """
+    require_nonnegative("rt", rt)
+    require_nonnegative("lt", lt)
+    require_nonnegative("ct", ct)
+    require_nonnegative("gt", gt)
+    if ct == 0 and gt == 0:
+        raise ParameterError("a line needs ct > 0 (or gt > 0) to be a two-port")
+
+    def entries(s: np.ndarray):
+        z = rt + s * lt
+        y = gt + s * ct
+        theta_sq = z * y
+        a = cosh_theta(theta_sq)
+        sc = sinhc_theta(theta_sq)
+        return a, z * sc, y * sc, a
+
+    return TwoPort(entries, label=f"RLC line (Rt={rt:g}, Lt={lt:g}, Ct={ct:g})")

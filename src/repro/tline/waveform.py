@@ -1,0 +1,219 @@
+"""Waveform measurements: delay, rise time, overshoot, settling.
+
+These are the post-processing steps a circuit designer applies to a
+simulated node voltage: the paper's headline quantity is the 50%
+propagation delay (time for the far-end voltage to first reach half the
+final value, with a step applied at ``t = 0``).
+
+All functions take sampled data and interpolate linearly between samples;
+:class:`Waveform` packages a ``(t, v)`` pair with the common measurements
+as methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError, ParameterError
+
+__all__ = [
+    "Waveform",
+    "first_crossing",
+    "propagation_delay_50",
+    "rise_time",
+    "overshoot",
+    "settling_time",
+]
+
+
+def _validate(t: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(t, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if t.ndim != 1 or v.ndim != 1 or t.shape != v.shape:
+        raise ParameterError(
+            f"t and v must be equal-length 1-D arrays, got {t.shape} and {v.shape}"
+        )
+    if t.size < 2:
+        raise ParameterError("need at least two samples")
+    if not np.all(np.diff(t) > 0):
+        raise ParameterError("time samples must be strictly increasing")
+    if not (np.all(np.isfinite(t)) and np.all(np.isfinite(v))):
+        raise ParameterError("samples must be finite")
+    return t, v
+
+
+def first_crossing(
+    t,
+    v,
+    level: float,
+    rising: bool = True,
+) -> float:
+    """Time of the first crossing of ``level``, linearly interpolated.
+
+    Parameters
+    ----------
+    t, v:
+        Sampled waveform.
+    level:
+        Threshold value (same units as ``v``).
+    rising:
+        If True, detect the first upward crossing; otherwise downward.
+
+    Raises
+    ------
+    AnalysisError
+        If the waveform never crosses the level in the given direction.
+    """
+    t, v = _validate(t, v)
+    if rising:
+        above = v >= level
+    else:
+        above = v <= level
+    if above[0]:
+        return float(t[0])
+    hits = np.nonzero(above[1:] & ~above[:-1])[0]
+    if hits.size == 0:
+        direction = "rising" if rising else "falling"
+        raise AnalysisError(
+            f"waveform never crosses level {level!r} ({direction}); "
+            f"range is [{v.min():g}, {v.max():g}]"
+        )
+    i = int(hits[0])
+    v0, v1 = v[i], v[i + 1]
+    if v1 == v0:
+        return float(t[i + 1])
+    frac = (level - v0) / (v1 - v0)
+    return float(t[i] + frac * (t[i + 1] - t[i]))
+
+
+def propagation_delay_50(t, v, v_final: float | None = None) -> float:
+    """50% propagation delay of a rising step response.
+
+    ``v_final`` defaults to the steady-state value, estimated as the last
+    sample; pass it explicitly (e.g. 1.0 for a normalized unit-step
+    response) when the simulated window is short.
+    """
+    t, v = _validate(t, v)
+    if v_final is None:
+        v_final = float(v[-1])
+    if v_final <= v[0]:
+        raise AnalysisError(
+            f"final value {v_final:g} does not exceed initial value {v[0]:g}"
+        )
+    level = v[0] + 0.5 * (v_final - v[0])
+    return first_crossing(t, v, level, rising=True)
+
+
+def rise_time(
+    t,
+    v,
+    v_final: float | None = None,
+    low: float = 0.1,
+    high: float = 0.9,
+) -> float:
+    """10%-90% (by default) rise time of a rising step response."""
+    t, v = _validate(t, v)
+    if not 0.0 <= low < high <= 1.0:
+        raise ParameterError(f"need 0 <= low < high <= 1, got {low}, {high}")
+    if v_final is None:
+        v_final = float(v[-1])
+    v0 = float(v[0])
+    span = v_final - v0
+    if span <= 0:
+        raise AnalysisError("waveform does not rise")
+    t_low = first_crossing(t, v, v0 + low * span, rising=True)
+    t_high = first_crossing(t, v, v0 + high * span, rising=True)
+    return t_high - t_low
+
+
+def overshoot(t, v, v_final: float | None = None) -> float:
+    """Peak overshoot as a fraction of the final value (0 if none).
+
+    An underdamped RLC line overshoots; an overdamped (RC-like) one does
+    not.  The paper's Table 1 sweep includes both regimes.
+    """
+    t, v = _validate(t, v)
+    if v_final is None:
+        v_final = float(v[-1])
+    if v_final == 0:
+        raise AnalysisError("v_final must be nonzero to normalize overshoot")
+    peak = float(np.max(v))
+    return max(0.0, (peak - v_final) / abs(v_final))
+
+
+def settling_time(t, v, v_final: float | None = None, band: float = 0.05) -> float:
+    """Time after which the waveform stays within ``band`` of final value."""
+    t, v = _validate(t, v)
+    if v_final is None:
+        v_final = float(v[-1])
+    if not 0 < band < 1:
+        raise ParameterError(f"band must be in (0, 1), got {band}")
+    tol = band * abs(v_final) if v_final != 0 else band
+    outside = np.abs(v - v_final) > tol
+    if not np.any(outside):
+        return float(t[0])
+    last_outside = int(np.nonzero(outside)[0][-1])
+    if last_outside == t.size - 1:
+        raise AnalysisError(
+            f"waveform has not settled to within {band:.0%} by t = {t[-1]:g}"
+        )
+    return float(t[last_outside + 1])
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled single-node waveform with measurement helpers.
+
+    >>> import numpy as np
+    >>> t = np.linspace(0.0, 10.0, 1001)
+    >>> w = Waveform(t, 1 - np.exp(-t))
+    >>> round(w.delay_50(v_final=1.0), 3)
+    0.693
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        t, v = _validate(self.times, self.values)
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "values", v)
+
+    @classmethod
+    def from_samples(cls, times: Sequence[float], values: Sequence[float]) -> "Waveform":
+        """Build from any sequence types."""
+        return cls(np.asarray(times, dtype=float), np.asarray(values, dtype=float))
+
+    @property
+    def final_value(self) -> float:
+        """Last sampled value (steady-state estimate)."""
+        return float(self.values[-1])
+
+    def crossing(self, level: float, rising: bool = True) -> float:
+        """First crossing time of ``level``."""
+        return first_crossing(self.times, self.values, level, rising)
+
+    def delay_50(self, v_final: float | None = None) -> float:
+        """50% propagation delay."""
+        return propagation_delay_50(self.times, self.values, v_final)
+
+    def rise_time(self, v_final: float | None = None) -> float:
+        """10-90% rise time."""
+        return rise_time(self.times, self.values, v_final)
+
+    def overshoot(self, v_final: float | None = None) -> float:
+        """Fractional peak overshoot."""
+        return overshoot(self.times, self.values, v_final)
+
+    def settling_time(self, v_final: float | None = None, band: float = 0.05) -> float:
+        """Settling time to within ``band`` of the final value."""
+        return settling_time(self.times, self.values, v_final, band)
+
+    def resampled(self, times) -> "Waveform":
+        """Linear re-interpolation onto a new time grid."""
+        times = np.asarray(times, dtype=float)
+        values = np.interp(times, self.times, self.values)
+        return Waveform(times, values)

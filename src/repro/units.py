@@ -1,0 +1,145 @@
+"""SI unit constants and formatting helpers.
+
+Everything inside the library is strict SI: ohms, henries, farads, seconds,
+meters, watts.  These constants exist so that call sites can write
+``500 * OHM`` or ``1 * PF`` instead of bare magic numbers, and so that
+values can be pretty-printed back in engineering notation.
+
+Example
+-------
+>>> from repro.units import PF, OHM, format_si
+>>> ct = 1 * PF
+>>> format_si(ct, "F")
+'1 pF'
+>>> format_si(500 * OHM, "Ohm")
+'500 Ohm'
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- base multipliers --------------------------------------------------------
+
+ATTO = 1e-18
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+UNIT = 1.0
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+# --- resistance --------------------------------------------------------------
+
+OHM = UNIT
+MILLIOHM = MILLI
+KILOOHM = KILO
+MEGAOHM = MEGA
+
+# --- capacitance -------------------------------------------------------------
+
+FARAD = UNIT
+AF = ATTO
+FF = FEMTO
+PF = PICO
+NF = NANO
+UF = MICRO
+
+# --- inductance --------------------------------------------------------------
+
+HENRY = UNIT
+FH = FEMTO
+PH = PICO
+NH = NANO
+UH = MICRO
+
+# --- time --------------------------------------------------------------------
+
+SECOND = UNIT
+FS = FEMTO
+PS = PICO
+NS = NANO
+US = MICRO
+MS = MILLI
+
+# --- length ------------------------------------------------------------------
+
+METER = UNIT
+NM = NANO
+UM = MICRO
+MM = MILLI
+CM = 1e-2
+
+# --- frequency ---------------------------------------------------------------
+
+HZ = UNIT
+KHZ = KILO
+MHZ = MEGA
+GHZ = GIGA
+
+# --- voltage / power ---------------------------------------------------------
+
+VOLT = UNIT
+MV = MILLI
+WATT = UNIT
+MW = MILLI
+UW = MICRO
+
+_SI_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+)
+
+
+def si_scale(value: float) -> tuple[float, str]:
+    """Return ``(scaled, prefix)`` so that ``scaled`` lies in [1, 1000).
+
+    Zero, NaN and infinities are returned unscaled with an empty prefix.
+
+    >>> si_scale(2.2e-12)
+    (2.2, 'p')
+    """
+    if value == 0 or not math.isfinite(value):
+        return value, ""
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return value / scale, prefix
+    # Smaller than every listed prefix: report in atto.
+    return value / 1e-18, "a"
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` in engineering notation with an SI prefix.
+
+    ``digits`` controls the number of significant digits.
+
+    >>> format_si(1.48e-9, 's')
+    '1.48 ns'
+    """
+    scaled, prefix = si_scale(value)
+    text = f"{scaled:.{digits}g}"
+    suffix = f" {prefix}{unit}".rstrip()
+    return f"{text}{suffix}" if suffix else text
+
+
+def format_percent(fraction: float, digits: int = 3) -> str:
+    """Format a fraction (0.05) as a percentage string ('5%').
+
+    >>> format_percent(0.0534)
+    '5.34%'
+    """
+    return f"{100.0 * fraction:.{digits}g}%"

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.repeater import Buffer
+
+
+@pytest.fixture
+def underdamped_line() -> DriverLineLoad:
+    """A strongly inductive Table 1 case (zeta ~ 0.34, overshoots)."""
+    return DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+
+
+@pytest.fixture
+def overdamped_line() -> DriverLineLoad:
+    """An RC-dominated Table 1 case (zeta ~ 7, no overshoot)."""
+    return DriverLineLoad(rt=1000.0, lt=1e-8, ct=1e-12, rtr=500.0, cl=5e-13)
+
+
+@pytest.fixture
+def critical_line() -> DriverLineLoad:
+    """A case near critical damping (zeta ~ 1.07)."""
+    return DriverLineLoad(rt=1000.0, lt=1e-7, ct=1e-12, rtr=100.0, cl=1e-13)
+
+
+@pytest.fixture
+def clock_spine() -> DriverLineLoad:
+    """A realistic 50 mm global clock wire (T_{L/R} = 5 with min_buffer)."""
+    return DriverLineLoad(rt=500.0, lt=125e-9, ct=10e-12)
+
+
+@pytest.fixture
+def min_buffer() -> Buffer:
+    """A 0.25 um-flavored minimum buffer (R0*C0 = 50 ps ... 5e-11 s)."""
+    return Buffer(r0=5000.0, c0=1e-14)

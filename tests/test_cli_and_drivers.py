@@ -1,0 +1,65 @@
+"""Tests for the CLI entry point and the remaining experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import crosstalk_study, refit, zeta_collapse
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T1" in out and "EXP-X6" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "EXP-X4"]) == 0
+        out = capsys.readouterr().out
+        assert "250nm" in out
+
+    def test_run_case_insensitive(self, capsys):
+        assert main(["run", "exp-x4"]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "EXP-NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestZetaCollapseDriver:
+    def test_small_run(self):
+        table = zeta_collapse.run(
+            zeta_values=np.array([0.5, 2.0]), ratio_grid=(0.0, 1.0)
+        )
+        assert len(table.rows) == 2
+        # Spread shrinks deep into the RC regime.
+        spreads = table.column("spread_%")
+        assert spreads[1] < spreads[0]
+        # Simulated band brackets are ordered.
+        for row in table.rows:
+            assert row[1] <= row[3] <= row[2]  # min <= mean <= max
+
+
+class TestRefitDriver:
+    def test_delay_refit_lands_near_published(self):
+        result = refit.refit_delay_model(
+            zeta_values=np.linspace(0.3, 2.5, 8), n_segments=80
+        )
+        a, b, c = result.parameters
+        assert a == pytest.approx(2.9, abs=0.5)
+        assert b == pytest.approx(1.35, abs=0.25)
+        assert c == pytest.approx(1.48, abs=0.08)
+        assert result.max_relative_error < 0.08
+
+
+class TestCrosstalkStudyDriver:
+    def test_two_point_sweep(self):
+        table = crosstalk_study.run(
+            spacings_um=(0.6, 4.0), n_segments=12
+        )
+        assert len(table.rows) == 2
+        close, far = table.rows
+        assert close[1] > far[1]  # coupling cap falls with spacing
+        assert close[3] > far[3]  # so does the positive glitch

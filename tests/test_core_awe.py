@@ -1,0 +1,88 @@
+"""Tests for repro.core.awe: moment-matched reduced-order models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.awe import awe_delay_50, awe_reduce
+from repro.core.canonical import DriverLineLoad
+from repro.core.delay import propagation_delay
+from repro.core.moments import elmore_delay, two_pole_delay_50
+from repro.core.simulate import simulated_delay_50
+from repro.errors import AnalysisError, ParameterError
+
+
+class TestReduction:
+    def test_order_one_is_single_pole_elmore(self, overdamped_line):
+        """q = 1 matches m0, m1: the pole is -1/ElmoreDelay."""
+        model = awe_reduce(overdamped_line, q=1)
+        assert model.order == 1
+        assert model.poles[0].real == pytest.approx(
+            -1.0 / elmore_delay(overdamped_line), rel=1e-9
+        )
+
+    def test_conjugate_pole_pairs(self, underdamped_line):
+        model = awe_reduce(underdamped_line, q=2)
+        assert model.is_stable
+        p = np.sort_complex(model.poles)
+        assert p[0] == pytest.approx(np.conj(p[1]))
+
+    def test_step_response_is_real_and_settles(self, underdamped_line):
+        model = awe_reduce(underdamped_line, q=3)
+        t = np.linspace(0.0, 2e-8, 500)
+        v = model.step_response(t)
+        assert np.all(np.isfinite(v))
+        assert v[0] == pytest.approx(0.0, abs=1e-6) or abs(v[0]) < 0.2
+        assert v[-1] == pytest.approx(1.0, abs=2e-2)
+
+    def test_transfer_matches_exact_at_low_frequency(self, critical_line):
+        model = awe_reduce(critical_line, q=3)
+        exact = critical_line.transfer()
+        s = np.array([1e7 + 0j, 1e8 + 0j])
+        assert np.allclose(model.transfer_at(s), exact(s), rtol=1e-3)
+
+    def test_validation(self, critical_line):
+        with pytest.raises(ParameterError):
+            awe_reduce(critical_line, q=0)
+
+
+class TestDelayAccuracy:
+    def test_order_ladder_improves_accuracy(self, critical_line):
+        """Elmore-ish -> two-pole -> AWE-3: errors shrink monotonically."""
+        sim = simulated_delay_50(critical_line, n_segments=120)
+
+        def err(value: float) -> float:
+            return abs(value - sim) / sim
+
+        e2 = err(two_pole_delay_50(critical_line))
+        e3 = err(awe_delay_50(critical_line, q=3))
+        assert e3 < e2
+        assert e3 < 0.05
+
+    def test_awe3_competitive_with_eq9_on_loaded_lines(self, overdamped_line):
+        sim = simulated_delay_50(overdamped_line, n_segments=100)
+        e_awe = abs(awe_delay_50(overdamped_line, q=3) - sim) / sim
+        e_eq9 = abs(propagation_delay(overdamped_line) - sim) / sim
+        # Both are good in the overdamped regime; AWE must be sane.
+        assert e_awe < max(0.05, 2 * e_eq9)
+
+    def test_underdamped_line(self, underdamped_line):
+        sim = simulated_delay_50(underdamped_line, n_segments=120)
+        got = awe_delay_50(underdamped_line, q=4)
+        assert abs(got - sim) / sim < 0.10
+
+
+class TestFailureModes:
+    def test_high_order_instability_is_flagged(self):
+        """Some order eventually fails on a distributed line -- the
+        classic AWE breakdown must raise, not return garbage."""
+        line = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+        failed = False
+        for q in range(3, 10):
+            try:
+                awe_reduce(line, q=q)
+            except AnalysisError:
+                failed = True
+                break
+        assert failed, "expected AWE to break down by order 9"

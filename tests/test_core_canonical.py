@@ -1,0 +1,152 @@
+"""Tests for repro.core.canonical: the Fig. 1 object and eqs. 3/5/6."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import DriverLineLoad, omega_n, zeta, zeta_from_ratios
+from repro.errors import ParameterError
+
+impedance = st.floats(min_value=1e-3, max_value=1e4)
+ratios = st.floats(min_value=0.0, max_value=10.0)
+
+
+class TestOmegaN:
+    def test_formula(self):
+        assert omega_n(1e-6, 1e-12, 1e-13) == pytest.approx(
+            1.0 / math.sqrt(1e-6 * 1.1e-12)
+        )
+
+    def test_no_load(self):
+        assert omega_n(1e-9, 1e-12) == pytest.approx(1.0 / math.sqrt(1e-21))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            omega_n(0.0, 1e-12)
+
+
+class TestZeta:
+    def test_table1_cell(self):
+        """Hand-checked value for the paper's Lt=1e-6 corner."""
+        got = zeta(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+        assert got == pytest.approx(0.338479, rel=1e-5)
+
+    def test_bare_line(self):
+        """RT = CT = 0: zeta = (Rt/4) * sqrt(Ct/Lt)."""
+        got = zeta(rt=1000.0, lt=1e-7, ct=1e-12)
+        assert got == pytest.approx(0.25 * 1000.0 * math.sqrt(1e-5), rel=1e-12)
+
+    def test_matches_transfer_function_coefficient(self):
+        """2*zeta equals a1 * omega_n -- eq. 6 is exactly the scaled
+        first denominator coefficient (paper eq. 7)."""
+        from repro.tline.transfer import denominator_coefficients
+
+        rt, lt, ct, rtr, cl = 1200.0, 3e-7, 2e-12, 250.0, 5e-13
+        a = denominator_coefficients(rt, lt, ct, rtr, cl)
+        z = zeta(rt, lt, ct, rtr, cl)
+        assert 2.0 * z == pytest.approx(a[1] * omega_n(lt, ct, cl), rel=1e-12)
+
+    def test_zero_resistance_limit(self):
+        """rt -> 0 with rtr fixed stays finite and continuous."""
+        exact_zero = zeta(rt=0.0, lt=1e-9, ct=1e-12, rtr=100.0, cl=1e-13)
+        tiny = zeta(rt=1e-9, lt=1e-9, ct=1e-12, rtr=100.0, cl=1e-13)
+        assert exact_zero == pytest.approx(tiny, rel=1e-6)
+        assert exact_zero > 0
+
+    def test_fully_lossless(self):
+        assert zeta(rt=0.0, lt=1e-9, ct=1e-12) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(rt=impedance, scale=st.floats(min_value=0.01, max_value=100.0))
+    def test_scale_invariance(self, rt, scale):
+        """zeta depends only on dimensionless groups: scaling (Rt, Rtr)
+        by x and (Lt) by x**2 leaves zeta unchanged."""
+        base = zeta(rt, 1e-9, 1e-12, rtr=0.5 * rt, cl=2e-13)
+        scaled = zeta(
+            rt * scale, 1e-9 * scale**2, 1e-12, rtr=0.5 * rt * scale, cl=2e-13
+        )
+        assert scaled == pytest.approx(base, rel=1e-9)
+
+    def test_zeta_from_ratios_consistency(self):
+        rt, lt, ct = 800.0, 2e-8, 1e-12
+        pref = 0.5 * rt * math.sqrt(ct / lt)
+        assert zeta_from_ratios(pref, 0.3, 0.7) == pytest.approx(
+            zeta(rt, lt, ct, rtr=0.3 * rt, cl=0.7 * ct), rel=1e-12
+        )
+
+
+class TestDriverLineLoad:
+    def test_ratios(self, underdamped_line):
+        assert underdamped_line.r_ratio == pytest.approx(0.1)
+        assert underdamped_line.c_ratio == pytest.approx(0.1)
+
+    def test_properties(self, underdamped_line):
+        assert underdamped_line.is_underdamped
+        assert underdamped_line.time_of_flight == pytest.approx(1e-9)
+        assert underdamped_line.characteristic_impedance == pytest.approx(1000.0)
+        assert underdamped_line.total_capacitance == pytest.approx(1.1e-12)
+
+    def test_from_per_unit_length(self):
+        line = DriverLineLoad.from_per_unit_length(
+            r=2000.0, l=3e-7, c=2e-10, length=0.01, rtr=50.0, cl=1e-13
+        )
+        assert line.rt == pytest.approx(20.0)
+        assert line.lt == pytest.approx(3e-9)
+        assert line.ct == pytest.approx(2e-12)
+
+    def test_with_length_scaled(self, underdamped_line):
+        double = underdamped_line.with_length_scaled(2.0)
+        assert double.rt == pytest.approx(2 * underdamped_line.rt)
+        assert double.lt == pytest.approx(2 * underdamped_line.lt)
+        assert double.ct == pytest.approx(2 * underdamped_line.ct)
+        assert double.rtr == underdamped_line.rtr  # gate unchanged
+
+    def test_section(self, underdamped_line):
+        quarter = underdamped_line.section(4)
+        assert quarter.rt == pytest.approx(underdamped_line.rt / 4)
+        assert quarter.cl == underdamped_line.cl
+
+    def test_section_validation(self, underdamped_line):
+        with pytest.raises(ParameterError):
+            underdamped_line.section(0)
+
+    def test_r_ratio_degenerate(self):
+        line = DriverLineLoad(rt=0.0, lt=1e-9, ct=1e-12, rtr=10.0)
+        assert math.isinf(line.r_ratio)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        target=st.floats(min_value=0.05, max_value=10.0),
+        r_ratio=ratios,
+        c_ratio=ratios,
+    )
+    def test_for_zeta_roundtrip(self, target, r_ratio, c_ratio):
+        line = DriverLineLoad.for_zeta(target, r_ratio=r_ratio, c_ratio=c_ratio)
+        assert line.zeta == pytest.approx(target, rel=1e-9)
+        assert line.r_ratio == pytest.approx(r_ratio, abs=1e-12)
+        assert line.c_ratio == pytest.approx(c_ratio, abs=1e-12)
+
+    def test_transfer_view(self, underdamped_line):
+        h = underdamped_line.transfer()
+        assert h.dc_gain() == pytest.approx(1.0, rel=1e-6)
+
+    def test_ladder_view(self, underdamped_line):
+        spec = underdamped_line.ladder(n_segments=10)
+        assert spec.n_segments == 10
+        assert spec.rtr == underdamped_line.rtr
+
+    def test_ladder_view_zero_driver(self):
+        line = DriverLineLoad(rt=100.0, lt=1e-9, ct=1e-12)
+        spec = line.ladder()
+        assert spec.rtr > 0  # tiny surrogate resistance
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DriverLineLoad(rt=-1.0, lt=1e-9, ct=1e-12)
+        with pytest.raises(ParameterError):
+            DriverLineLoad(rt=1.0, lt=0.0, ct=1e-12)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.moments and repro.core.baselines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    distributed_rc_delay_50,
+    lc_bound_delay,
+    rc_dominated,
+    sakurai_rc_delay_50,
+)
+from repro.core.canonical import DriverLineLoad
+from repro.core.delay import propagation_delay
+from repro.core.moments import (
+    elmore_delay,
+    elmore_delay_50,
+    two_pole_coefficients,
+    two_pole_delay_50,
+    two_pole_step_response,
+)
+from repro.errors import ParameterError
+
+
+class TestElmore:
+    def test_formula(self, underdamped_line):
+        line = underdamped_line
+        expected = (
+            line.rtr * line.cl
+            + 0.5 * line.rt * line.ct
+            + line.rt * line.cl
+            + line.rtr * line.ct
+        )
+        assert elmore_delay(line) == pytest.approx(expected)
+
+    def test_matches_transfer_series(self, critical_line):
+        from repro.tline.transfer import denominator_coefficients
+
+        a = denominator_coefficients(
+            critical_line.rt,
+            critical_line.lt,
+            critical_line.ct,
+            critical_line.rtr,
+            critical_line.cl,
+        )
+        assert elmore_delay(critical_line) == pytest.approx(a[1], rel=1e-12)
+
+    def test_ln2_scaling(self, critical_line):
+        assert elmore_delay_50(critical_line) == pytest.approx(
+            math.log(2.0) * elmore_delay(critical_line)
+        )
+
+    def test_independent_of_inductance(self, underdamped_line):
+        from dataclasses import replace
+
+        more_l = replace(underdamped_line, lt=10 * underdamped_line.lt)
+        assert elmore_delay(more_l) == elmore_delay(underdamped_line)
+
+
+class TestTwoPole:
+    def test_coefficients_include_inductance(self, underdamped_line):
+        a1, a2 = two_pole_coefficients(underdamped_line)
+        assert a1 > 0 and a2 > 0
+        # a2 must carry the Lt*(Ct/2 + CL) term.
+        from dataclasses import replace
+
+        _, a2_less = two_pole_coefficients(
+            replace(underdamped_line, lt=underdamped_line.lt / 2)
+        )
+        assert a2 > a2_less
+
+    def test_overdamped_response_monotone(self, overdamped_line):
+        t = np.linspace(0.0, 2e-8, 500)
+        v = two_pole_step_response(overdamped_line, t)
+        assert np.all(np.diff(v) > -1e-12)
+        assert v[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_underdamped_response_overshoots(self, underdamped_line):
+        t = np.linspace(0.0, 2e-8, 2000)
+        v = two_pole_step_response(underdamped_line, t)
+        assert np.max(v) > 1.05
+
+    def test_delay_50_brackets(self, overdamped_line, underdamped_line):
+        for line in (overdamped_line, underdamped_line):
+            t50 = two_pole_delay_50(line)
+            v = two_pole_step_response(line, np.array([t50]))
+            assert v[0] == pytest.approx(0.5, abs=1e-9)
+
+    def test_two_pole_beats_elmore_when_underdamped(self, underdamped_line):
+        """On inductive lines the two-pole estimate is closer to eq. 9."""
+        reference = propagation_delay(underdamped_line)
+        err_elmore = abs(elmore_delay_50(underdamped_line) - reference)
+        err_two_pole = abs(two_pole_delay_50(underdamped_line) - reference)
+        assert err_two_pole < err_elmore
+
+
+class TestBaselines:
+    def test_sakurai_bare_line(self):
+        line = DriverLineLoad(rt=2000.0, lt=1e-12, ct=3e-12)
+        assert sakurai_rc_delay_50(line) == pytest.approx(0.377 * 2000.0 * 3e-12)
+
+    def test_sakurai_close_to_eq9_in_rc_regime(self, overdamped_line):
+        """Both RC formulas should agree within ~15% deep in RC-land."""
+        got = sakurai_rc_delay_50(overdamped_line)
+        reference = propagation_delay(overdamped_line)
+        assert abs(got - reference) / reference < 0.15
+
+    def test_distributed_rc(self):
+        assert distributed_rc_delay_50(1000.0, 1e-12) == pytest.approx(3.77e-10)
+        with pytest.raises(ParameterError):
+            distributed_rc_delay_50(-1.0, 1e-12)
+
+    def test_lc_bound_below_actual(self, underdamped_line, overdamped_line):
+        for line in (underdamped_line, overdamped_line):
+            assert lc_bound_delay(line) <= propagation_delay(line)
+
+    def test_rc_dominated_classification(self, underdamped_line, overdamped_line):
+        assert rc_dominated(overdamped_line)
+        assert not rc_dominated(underdamped_line)
+        with pytest.raises(ParameterError):
+            rc_dominated(overdamped_line, threshold=0.0)

@@ -1,0 +1,149 @@
+"""Tests for repro.core.penalty and repro.core.fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitting import (
+    delay_model_form,
+    error_factor_form,
+    fit_delay_model,
+    fit_error_factor,
+)
+from repro.core.penalty import (
+    area_increase_closed_form,
+    area_increase_from_designs,
+    delay_increase_closed_form,
+    delay_increase_numerical,
+    power_increase,
+)
+from repro.core.repeater import Buffer, RepeaterDesign
+from repro.errors import ConvergenceError, ParameterError
+
+
+class TestDelayIncreaseClosedForm:
+    def test_paper_anchors(self):
+        """~10% at T=3, ~20% at T=5, ~30% (28%) at T=10."""
+        assert delay_increase_closed_form(3.0) == pytest.approx(10.0, abs=0.5)
+        assert delay_increase_closed_form(5.0) == pytest.approx(20.0, abs=0.5)
+        assert delay_increase_closed_form(10.0) == pytest.approx(28.0, abs=1.0)
+
+    def test_zero_at_origin(self):
+        assert delay_increase_closed_form(0.0) == 0.0
+
+    def test_saturates_at_30(self):
+        assert delay_increase_closed_form(1e6) == pytest.approx(30.0, rel=1e-3)
+
+    def test_monotone(self):
+        t = np.linspace(0.0, 20.0, 100)
+        values = delay_increase_closed_form(t)
+        assert np.all(np.diff(values) > -1e-9)
+
+    def test_vectorized(self):
+        out = delay_increase_closed_form(np.array([1.0, 2.0]))
+        assert out.shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            delay_increase_closed_form(-1.0)
+
+
+class TestDelayIncreaseNumerical:
+    def test_nonnegative_vs_numerical_optimum(self):
+        """Against the true model optimum, Bakoglu can only be worse."""
+        for t in (1.0, 3.0, 5.0):
+            assert delay_increase_numerical(t, use_numerical_optimum=True) >= 0.0
+
+    def test_grows_with_t(self):
+        small = delay_increase_numerical(1.0, use_numerical_optimum=True)
+        large = delay_increase_numerical(8.0, use_numerical_optimum=True)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            delay_increase_numerical(0.0)
+
+
+class TestAreaIncrease:
+    def test_paper_anchors(self):
+        """154% at T=3 and 435% at T=5 (quoted in the paper's text)."""
+        assert area_increase_closed_form(3.0) == pytest.approx(154.0, abs=1.0)
+        assert area_increase_closed_form(5.0) == pytest.approx(435.0, abs=1.5)
+
+    def test_zero_at_origin(self):
+        assert area_increase_closed_form(0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_error_factor_product(self):
+        """%AI = 100*(1/(h'k') - 1) by construction."""
+        from repro.core.repeater import error_factors
+
+        t = 4.2
+        h_prime, k_prime = error_factors(t)
+        assert area_increase_closed_form(t) == pytest.approx(
+            100.0 * (1.0 / (h_prime * k_prime) - 1.0), rel=1e-12
+        )
+
+    def test_from_designs(self):
+        buffer = Buffer(r0=1.0, c0=1.0)
+        rc = RepeaterDesign(h=2.0, k=4.0)
+        rlc = RepeaterDesign(h=1.0, k=2.0)
+        assert area_increase_from_designs(rc, rlc, buffer) == pytest.approx(300.0)
+
+
+class TestPowerIncrease:
+    def test_repeater_only_equals_area(self):
+        """Without wire cap, power penalty == area penalty exactly."""
+        for t in (2.0, 5.0):
+            assert power_increase(t, include_wire=False) == pytest.approx(
+                area_increase_closed_form(t), rel=1e-9
+            )
+
+    def test_wire_dilutes(self):
+        assert power_increase(5.0, include_wire=True) < power_increase(
+            5.0, include_wire=False
+        )
+
+    def test_positive(self):
+        assert power_increase(3.0) > 0
+
+
+class TestFitting:
+    def test_delay_fit_roundtrip(self):
+        """Data generated from known constants is recovered exactly."""
+        z = np.linspace(0.1, 3.0, 25)
+        data = delay_model_form(z, 2.5, 1.2, 1.6)
+        result = fit_delay_model(z, data)
+        assert result.parameters == pytest.approx((2.5, 1.2, 1.6), rel=1e-6)
+        assert result.max_relative_error < 1e-9
+
+    def test_delay_fit_published_constants_selfconsistent(self):
+        z = np.linspace(0.1, 3.0, 30)
+        data = delay_model_form(z, 2.9, 1.35, 1.48)
+        result = fit_delay_model(z, data)
+        assert result.parameters == pytest.approx((2.9, 1.35, 1.48), rel=1e-6)
+
+    def test_error_factor_roundtrip(self):
+        t = np.linspace(0.5, 10.0, 15)
+        data = error_factor_form(t, 0.16, 0.24)
+        result = fit_error_factor(t, data)
+        assert result.parameters == pytest.approx((0.16, 0.24), rel=1e-6)
+
+    def test_fit_validation(self):
+        with pytest.raises(ParameterError):
+            fit_delay_model(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ParameterError):
+            fit_error_factor(np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0, 0.5]))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        a=st.floats(min_value=1.5, max_value=4.0),
+        b=st.floats(min_value=1.0, max_value=1.8),
+        c=st.floats(min_value=1.0, max_value=2.0),
+    )
+    def test_delay_fit_recovers_random_constants(self, a, b, c):
+        z = np.linspace(0.1, 3.0, 25)
+        result = fit_delay_model(z, delay_model_form(z, a, b, c))
+        assert result.parameters == pytest.approx((a, b, c), rel=1e-4)

@@ -1,0 +1,275 @@
+"""Tests for repro.core.repeater: eqs. 11, 13-15, 19-22 and Fig. 4."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.repeater import (
+    Buffer,
+    RepeaterDesign,
+    RepeaterSystem,
+    bakoglu_rc_design,
+    error_factors,
+    inductance_time_ratio,
+    normalized_system,
+    numerical_error_factors,
+    numerical_optimal_design,
+    optimal_rlc_design,
+)
+from repro.errors import ParameterError
+
+
+class TestBuffer:
+    def test_scaling(self, min_buffer):
+        assert min_buffer.output_resistance(10.0) == pytest.approx(500.0)
+        assert min_buffer.input_capacitance(10.0) == pytest.approx(1e-13)
+        assert min_buffer.intrinsic_delay == pytest.approx(5e-11)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Buffer(r0=0.0, c0=1e-15)
+        with pytest.raises(ParameterError):
+            Buffer(r0=1.0, c0=1e-15, c_out_ratio=-0.5)
+
+
+class TestDesign:
+    def test_area(self, min_buffer):
+        design = RepeaterDesign(h=40.0, k=5.0)
+        assert design.area(min_buffer) == pytest.approx(200.0)
+        assert design.buffer_capacitance(min_buffer) == pytest.approx(2e-12)
+
+    def test_quantized(self):
+        assert RepeaterDesign(h=3.0, k=4.4).quantized().k == 4.0
+        assert RepeaterDesign(h=3.0, k=0.3).quantized().k == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RepeaterDesign(h=0.0, k=1.0)
+
+
+class TestInductanceTimeRatio:
+    def test_clock_spine(self, clock_spine, min_buffer):
+        assert inductance_time_ratio(clock_spine, min_buffer) == pytest.approx(5.0)
+
+    def test_length_invariance(self, clock_spine, min_buffer):
+        """T_{L/R} uses per-unit-length L/R: length cancels (eq. 13)."""
+        longer = clock_spine.with_length_scaled(3.0)
+        assert inductance_time_ratio(longer, min_buffer) == pytest.approx(
+            inductance_time_ratio(clock_spine, min_buffer)
+        )
+
+    def test_requires_resistance(self, min_buffer):
+        line = DriverLineLoad(rt=0.0, lt=1e-9, ct=1e-12)
+        with pytest.raises(ParameterError):
+            inductance_time_ratio(line, min_buffer)
+
+
+class TestBakoglu:
+    def test_formulas(self, clock_spine, min_buffer):
+        design = bakoglu_rc_design(clock_spine, min_buffer)
+        expected_h = math.sqrt(
+            min_buffer.r0 * clock_spine.ct / (clock_spine.rt * min_buffer.c0)
+        )
+        expected_k = math.sqrt(
+            clock_spine.rt * clock_spine.ct / (2 * min_buffer.r0 * min_buffer.c0)
+        )
+        assert design.h == pytest.approx(expected_h)
+        assert design.k == pytest.approx(expected_k)
+
+    def test_is_rc_objective_stationary_point(self, min_buffer):
+        """Bakoglu's (h, k) minimizes the RC-limit total delay."""
+        line = DriverLineLoad(rt=500.0, lt=1e-15, ct=10e-12)  # negligible L
+        system = RepeaterSystem(line, min_buffer)
+        best = bakoglu_rc_design(line, min_buffer)
+        t_best = system.total_delay(best)
+        for dh in (0.95, 1.05):
+            for dk in (0.95, 1.05):
+                perturbed = RepeaterDesign(h=best.h * dh, k=best.k * dk)
+                assert system.total_delay(perturbed) >= t_best
+
+
+class TestErrorFactors:
+    def test_rc_limit_is_unity(self):
+        h_prime, k_prime = error_factors(0.0)
+        assert h_prime == 1.0 and k_prime == 1.0
+
+    def test_monotone_decreasing(self):
+        t = np.linspace(0.0, 10.0, 50)
+        h_prime, k_prime = error_factors(t)
+        assert np.all(np.diff(h_prime) < 0)
+        assert np.all(np.diff(k_prime) < 0)
+
+    def test_k_decays_faster_than_h(self):
+        h_prime, k_prime = error_factors(5.0)
+        assert k_prime < h_prime
+
+    def test_paper_values(self):
+        """Spot values of eqs. 14/15 at T = 3 and 5."""
+        h3, k3 = error_factors(3.0)
+        assert h3 == pytest.approx((1 + 0.16 * 27) ** -0.24, rel=1e-12)
+        assert k3 == pytest.approx((1 + 0.18 * 27) ** -0.3, rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            error_factors(-1.0)
+
+
+class TestSectionMath:
+    """The appendix identities (eqs. 20, 24) hold for our section model."""
+
+    def test_section_ratios(self, clock_spine, min_buffer):
+        system = RepeaterSystem(clock_spine, min_buffer)
+        design = RepeaterDesign(h=40.0, k=5.0)
+        section = system.section_line(design)
+        # RTsec = (R0/h)/(Rt/k) = k R0 / (h Rt); CTsec = h k C0 / Ct.
+        assert section.r_ratio == pytest.approx(
+            design.k * min_buffer.r0 / (design.h * clock_spine.rt)
+        )
+        assert section.c_ratio == pytest.approx(
+            design.h * design.k * min_buffer.c0 / clock_spine.ct
+        )
+
+    def test_error_factor_parameterization(self, clock_spine, min_buffer):
+        """At h = h_rc*h', k = k_rc*k': RTsec = k'/(h' sqrt(2)) and
+        CTsec = h'k'/sqrt(2) (paper eq. 24)."""
+        rc = bakoglu_rc_design(clock_spine, min_buffer)
+        h_prime, k_prime = 0.7, 0.6
+        design = RepeaterDesign(h=rc.h * h_prime, k=rc.k * k_prime)
+        section = RepeaterSystem(clock_spine, min_buffer).section_line(design)
+        assert section.r_ratio == pytest.approx(
+            k_prime / (h_prime * math.sqrt(2.0)), rel=1e-12
+        )
+        assert section.c_ratio == pytest.approx(
+            h_prime * k_prime / math.sqrt(2.0), rel=1e-12
+        )
+
+    def test_total_delay_is_k_times_section(self, clock_spine, min_buffer):
+        system = RepeaterSystem(clock_spine, min_buffer)
+        design = RepeaterDesign(h=40.0, k=5.0)
+        assert system.total_delay(design) == pytest.approx(
+            5.0 * system.section_delay(design)
+        )
+
+
+class TestNumericalOptimum:
+    def test_rc_limit_recovers_bakoglu(self, min_buffer):
+        line = DriverLineLoad(rt=500.0, lt=1e-15, ct=10e-12)
+        best = numerical_optimal_design(line, min_buffer)
+        rc = bakoglu_rc_design(line, min_buffer)
+        assert best.h == pytest.approx(rc.h, rel=1e-3)
+        assert best.k == pytest.approx(rc.k, rel=1e-3)
+
+    def test_local_optimality(self, clock_spine, min_buffer):
+        system = RepeaterSystem(clock_spine, min_buffer)
+        best = numerical_optimal_design(clock_spine, min_buffer)
+        t_best = system.total_delay(best)
+        for dh in (0.97, 1.03):
+            for dk in (0.97, 1.03):
+                perturbed = RepeaterDesign(h=best.h * dh, k=best.k * dk)
+                assert system.total_delay(perturbed) >= t_best * (1 - 1e-9)
+
+    def test_beats_both_closed_forms_on_model(self, clock_spine, min_buffer):
+        """By construction the numerical optimum of the model objective
+        is at least as good as any closed-form candidate."""
+        system = RepeaterSystem(clock_spine, min_buffer)
+        t_best = system.total_delay(numerical_optimal_design(clock_spine, min_buffer))
+        t_rc = system.total_delay(bakoglu_rc_design(clock_spine, min_buffer))
+        t_paper = system.total_delay(optimal_rlc_design(clock_spine, min_buffer))
+        assert t_best <= t_rc and t_best <= t_paper
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        scale_r=st.floats(min_value=0.1, max_value=10.0),
+        scale_c=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_error_factors_are_dimensionless(self, scale_r, scale_c):
+        """h', k' depend on T_{L/R} only -- rescaling impedances while
+        holding T fixed leaves them unchanged (paper appendix claim)."""
+        t = 4.0
+        line1, buffer1 = normalized_system(t)
+        line2 = DriverLineLoad(
+            rt=scale_r, lt=t * scale_r * scale_r * scale_c, ct=scale_c
+        )
+        buffer2 = Buffer(r0=scale_r, c0=scale_c)
+        assert inductance_time_ratio(line2, buffer2) == pytest.approx(t)
+        rc1 = bakoglu_rc_design(line1, buffer1)
+        rc2 = bakoglu_rc_design(line2, buffer2)
+        best1 = numerical_optimal_design(line1, buffer1)
+        best2 = numerical_optimal_design(line2, buffer2)
+        assert best1.h / rc1.h == pytest.approx(best2.h / rc2.h, rel=1e-4)
+        assert best1.k / rc1.k == pytest.approx(best2.k / rc2.k, rel=1e-4)
+
+    def test_numerical_error_factors_decrease(self):
+        h1, k1 = numerical_error_factors(1.0)
+        h5, k5 = numerical_error_factors(5.0)
+        assert h5 < h1 <= 1.0 + 1e-9
+        assert k5 < k1 <= 1.0 + 1e-9
+
+
+class TestRepeaterSystem:
+    def test_requires_resistive_line(self, min_buffer):
+        with pytest.raises(ParameterError):
+            RepeaterSystem(DriverLineLoad(rt=0.0, lt=1e-9, ct=1e-12), min_buffer)
+
+    def test_switched_capacitance(self, clock_spine, min_buffer):
+        system = RepeaterSystem(clock_spine, min_buffer)
+        design = RepeaterDesign(h=50.0, k=4.0)
+        no_wire = system.switched_capacitance(design, include_wire=False)
+        assert no_wire == pytest.approx(200.0 * min_buffer.c0)
+        with_wire = system.switched_capacitance(design, include_wire=True)
+        assert with_wire == pytest.approx(no_wire + clock_spine.ct)
+
+    def test_dynamic_power(self, clock_spine, min_buffer):
+        system = RepeaterSystem(clock_spine, min_buffer)
+        design = RepeaterDesign(h=50.0, k=4.0)
+        p = system.dynamic_power(design, vdd=2.5, frequency=1e9, activity=0.5)
+        c = system.switched_capacitance(design)
+        assert p == pytest.approx(0.5 * 1e9 * 6.25 * c)
+        with pytest.raises(ParameterError):
+            system.dynamic_power(design, vdd=2.5, frequency=1e9, activity=0.0)
+
+    def test_simulated_total_close_to_model(self, clock_spine, min_buffer):
+        """Eq. 9 modeled total within ~8% of ladder-simulated total."""
+        system = RepeaterSystem(clock_spine, min_buffer)
+        design = numerical_optimal_design(clock_spine, min_buffer).quantized()
+        t_model = system.total_delay(design)
+        t_sim = system.total_delay_simulated(design, n_segments=60)
+        assert abs(t_model - t_sim) / t_sim < 0.08
+
+
+class TestPracticalDesign:
+    def test_integer_sections(self, clock_spine, min_buffer):
+        from repro.core.repeater import practical_design
+
+        design = practical_design(clock_spine, min_buffer)
+        assert design.k == int(design.k) and design.k >= 1
+
+    def test_no_worse_than_quantized_continuous(self, clock_spine, min_buffer):
+        from repro.core.repeater import practical_design
+
+        system = RepeaterSystem(clock_spine, min_buffer)
+        practical = practical_design(clock_spine, min_buffer)
+        naive = numerical_optimal_design(clock_spine, min_buffer).quantized()
+        assert system.total_delay(practical) <= system.total_delay(naive) * (
+            1 + 1e-9
+        )
+
+    def test_single_driver_when_line_is_lc(self, min_buffer):
+        """On a strongly inductive line splitting buys nothing: k = 1."""
+        from repro.core.repeater import practical_design
+
+        line = DriverLineLoad(rt=20.0, lt=100e-9, ct=2e-12)
+        design = practical_design(line, min_buffer)
+        assert design.k == 1.0
+
+    def test_max_sections_validation(self, clock_spine, min_buffer):
+        from repro.core.repeater import practical_design
+
+        with pytest.raises(ParameterError):
+            practical_design(clock_spine, min_buffer, max_sections=0)

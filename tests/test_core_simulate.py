@@ -1,0 +1,67 @@
+"""Tests for repro.core.simulate: the simulator dispatch layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delay import propagation_delay
+from repro.core.simulate import (
+    SimulatorRoute,
+    simulated_delay_50,
+    simulated_step_waveform,
+)
+from repro.errors import ParameterError
+
+
+class TestRouteAgreement:
+    def test_all_routes_agree_underdamped(self, underdamped_line):
+        ss = simulated_delay_50(underdamped_line, route="statespace", n_segments=150)
+        tl = simulated_delay_50(underdamped_line, route="tline")
+        mna = simulated_delay_50(
+            underdamped_line, route="mna", n_segments=60, n_samples=2001
+        )
+        assert ss == pytest.approx(tl, rel=0.01)
+        assert mna == pytest.approx(tl, rel=0.02)
+
+    def test_all_routes_agree_overdamped(self, overdamped_line):
+        ss = simulated_delay_50(overdamped_line, route="statespace", n_segments=100)
+        tl = simulated_delay_50(overdamped_line, route="tline")
+        assert ss == pytest.approx(tl, rel=0.005)
+
+    def test_route_enum_and_string(self, critical_line):
+        a = simulated_delay_50(critical_line, route=SimulatorRoute.STATESPACE)
+        b = simulated_delay_50(critical_line, route="statespace")
+        assert a == b
+
+    def test_unknown_route(self, critical_line):
+        with pytest.raises(ValueError):
+            simulated_delay_50(critical_line, route="spectre")
+
+
+class TestModelAgreement:
+    def test_eq9_close_to_simulation(self, underdamped_line, critical_line):
+        for line in (underdamped_line, critical_line):
+            sim = simulated_delay_50(line, n_segments=150)
+            model = propagation_delay(line)
+            assert abs(model - sim) / sim < 0.06  # paper: < 5% vs AS/X
+
+
+class TestWaveform:
+    def test_waveform_starts_at_zero(self, underdamped_line):
+        w = simulated_step_waveform(underdamped_line, n_segments=40)
+        assert w.values[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_waveform_settles_to_unity(self, overdamped_line):
+        w = simulated_step_waveform(overdamped_line, n_segments=40)
+        assert w.values[-1] == pytest.approx(1.0, abs=1e-2)
+
+    def test_underdamped_overshoots(self, underdamped_line):
+        w = simulated_step_waveform(underdamped_line, n_segments=80)
+        assert w.overshoot(v_final=1.0) > 0.2
+
+    def test_mna_dt_override(self, critical_line):
+        w = simulated_step_waveform(
+            critical_line, route="mna", n_segments=30, n_samples=501, dt=2e-12
+        )
+        assert w.times.size > 100

@@ -1,0 +1,77 @@
+"""Tests for repro.errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            errors.ParameterError,
+            errors.ConvergenceError,
+            errors.SimulationError,
+            errors.NetlistError,
+            errors.AnalysisError,
+        ):
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(errors.ParameterError, ValueError)
+
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_netlist_error_is_value_error(self):
+        assert issubclass(errors.NetlistError, ValueError)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert errors.require_positive("x", 2.5) == 2.5
+
+    def test_returns_float(self):
+        result = errors.require_positive("x", 3)
+        assert isinstance(result, float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(errors.ParameterError, match="x must be > 0"):
+            errors.require_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(errors.ParameterError):
+            errors.require_positive("x", -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(errors.ParameterError, match="finite"):
+            errors.require_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(errors.ParameterError, match="finite"):
+            errors.require_positive("x", float("inf"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(errors.ParameterError, match="real number"):
+            errors.require_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(errors.ParameterError, match="real number"):
+            errors.require_positive("x", "5")
+
+
+class TestRequireNonnegative:
+    def test_accepts_zero(self):
+        assert errors.require_nonnegative("x", 0.0) == 0.0
+
+    def test_accepts_positive(self):
+        assert errors.require_nonnegative("x", 1.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(errors.ParameterError, match=">= 0"):
+            errors.require_nonnegative("x", -1e-30)
+
+    def test_error_message_includes_name(self):
+        with pytest.raises(errors.ParameterError, match="inductance"):
+            errors.require_nonnegative("inductance", -1.0)

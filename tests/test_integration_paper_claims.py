@@ -1,0 +1,172 @@
+"""End-to-end verification of the paper's headline claims.
+
+Each test states a sentence from the paper and checks it against the
+library: closed forms against simulation, repeater designs against the
+simulated optimum, penalties against the quoted anchors.  These are the
+reproduction's acceptance tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.delay import propagation_delay, scaled_delay
+from repro.core.penalty import area_increase_closed_form, delay_increase_closed_form
+from repro.core.repeater import (
+    Buffer,
+    RepeaterSystem,
+    bakoglu_rc_design,
+    error_factors,
+    inductance_time_ratio,
+    numerical_optimal_design,
+    optimal_rlc_design,
+)
+from repro.core.simulate import simulated_delay_50
+
+
+class TestClaimDelayModelAccuracy:
+    """'...within 5% of dynamic circuit simulations for a wide range of
+    RLC loads' (abstract)."""
+
+    @pytest.mark.parametrize(
+        "lt", [1e-5, 1e-6, 1e-7, 1e-8],
+    )
+    def test_across_inductance_decades(self, lt):
+        line = DriverLineLoad(rt=1000.0, lt=lt, ct=1e-12, rtr=500.0, cl=5e-13)
+        sim = simulated_delay_50(line, n_segments=150)
+        model = propagation_delay(line)
+        assert abs(model - sim) / sim < 0.055
+
+    def test_covers_overshooting_and_monotone_regimes(self):
+        """'...include those cases where the response is underdamped and
+        overshoots occur ... and overdamped ... described by one
+        continuous equation.'"""
+        from repro.core.simulate import simulated_step_waveform
+
+        under = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+        over = DriverLineLoad(rt=1000.0, lt=1e-8, ct=1e-12, rtr=500.0, cl=5e-13)
+        assert simulated_step_waveform(under, n_segments=80).overshoot(1.0) > 0.1
+        assert simulated_step_waveform(over, n_segments=80).overshoot(1.0) < 0.01
+        for line in (under, over):
+            sim = simulated_delay_50(line, n_segments=150)
+            assert abs(propagation_delay(line) - sim) / sim < 0.055
+
+
+class TestClaimQuadraticToLinear:
+    """'...the traditional quadratic dependence of the propagation delay
+    on the length of an RC line approaches a linear dependence as
+    inductance effects increase.'"""
+
+    def test_exponent_falls_with_inductance(self):
+        from repro.analysis.length_dependence import (
+            delay_versus_length,
+            fitted_length_exponent,
+        )
+
+        r, c = 2000.0, 1.8e-10
+        lengths = np.geomspace(5e-3, 5e-2, 8)
+        exponents = []
+        for l_per_m in (1e-20, 3e-8, 3e-7, 3e-6):
+            delays = delay_versus_length(r, l_per_m, c, lengths)
+            exponents.append(fitted_length_exponent(lengths, delays))
+        assert exponents[0] == pytest.approx(2.0, abs=0.02)
+        assert all(b <= a + 1e-9 for a, b in zip(exponents, exponents[1:]))
+        assert exponents[-1] < 1.1
+
+
+class TestClaimRepeaterPenalties:
+    """'An RC model ... creates errors of up to 30% in the total
+    propagation delay of a repeater system' and the 154%/435% area
+    anchors; 'as inductance effects increase, the optimum number of
+    repeaters ... decreases.'"""
+
+    def test_delay_anchor_values(self):
+        assert delay_increase_closed_form(3.0) == pytest.approx(10.0, abs=0.5)
+        assert delay_increase_closed_form(5.0) == pytest.approx(20.0, abs=0.5)
+        assert delay_increase_closed_form(10.0) == pytest.approx(28.0, abs=1.5)
+        assert float(delay_increase_closed_form(1e9)) == pytest.approx(30.0, rel=1e-6)
+
+    def test_area_anchor_values(self):
+        assert area_increase_closed_form(3.0) == pytest.approx(154.0, abs=1.0)
+        assert area_increase_closed_form(5.0) == pytest.approx(435.0, abs=1.5)
+
+    def test_kopt_decreases_with_inductance(self):
+        """Both the paper's fit and our optimizer agree on the direction."""
+        t = np.array([0.5, 2.0, 5.0, 10.0])
+        _, k_fit = error_factors(t)
+        assert np.all(np.diff(k_fit) < 0)
+
+    def test_rc_design_loses_in_simulation(self, clock_spine, min_buffer):
+        """Ground truth at T_{L/R} = 5: RC-sized repeaters are slower AND
+        bigger than inductance-aware ones."""
+        assert inductance_time_ratio(clock_spine, min_buffer) == pytest.approx(5.0)
+        system = RepeaterSystem(clock_spine, min_buffer)
+        rc = bakoglu_rc_design(clock_spine, min_buffer)
+        ours = numerical_optimal_design(clock_spine, min_buffer)
+        paper = optimal_rlc_design(clock_spine, min_buffer)
+        t_rc = system.total_delay_simulated(rc, n_segments=50)
+        t_ours = system.total_delay_simulated(ours, n_segments=50)
+        t_paper = system.total_delay_simulated(paper, n_segments=50)
+        assert t_rc > t_ours
+        assert t_rc > t_paper
+        assert rc.area(min_buffer) > 2.0 * paper.area(min_buffer)
+
+    def test_power_follows_area(self, clock_spine, min_buffer):
+        """'The power consumption of the repeater system is also expected
+        to be much less in the case of an RLC model...'"""
+        system = RepeaterSystem(clock_spine, min_buffer)
+        rc = bakoglu_rc_design(clock_spine, min_buffer)
+        paper = optimal_rlc_design(clock_spine, min_buffer)
+        p_rc = system.dynamic_power(rc, vdd=2.5, frequency=1e9)
+        p_paper = system.dynamic_power(paper, vdd=2.5, frequency=1e9)
+        assert p_rc > 1.2 * p_paper
+
+
+class TestClaimScalingTrend:
+    """'...the importance of inductance ... will increase as
+    technologies scale.'"""
+
+    def test_penalty_grows_as_gate_delay_shrinks(self):
+        line = DriverLineLoad(rt=500.0, lt=125e-9, ct=10e-12)
+        penalties = []
+        for r0c0_scale in (2.0, 1.0, 0.5, 0.25):
+            buffer = Buffer(r0=5000.0 * r0c0_scale, c0=1e-14)
+            t = inductance_time_ratio(line, buffer)
+            penalties.append(float(delay_increase_closed_form(t)))
+        assert all(b > a for a, b in zip(penalties, penalties[1:]))
+
+
+class TestClaimZetaSufficiency:
+    """'...the propagation delay is primarily a function of zeta' with
+    weak RT/CT dependence in [0, 1]."""
+
+    def test_diagonal_families_collapse(self):
+        """The paper's Fig. 2 plots RT = CT families; along that diagonal
+        the simulated scaled delay collapses to ~10% at mid-zeta."""
+        z = 0.8
+        samples = []
+        for ratio in (0.0, 0.5, 1.0):
+            line = DriverLineLoad.for_zeta(z, ratio, ratio)
+            # tline route: exact for the bare-line member, whose crossing
+            # rides the wavefront (see core.simulate docs).
+            t50 = simulated_delay_50(line, route="tline")
+            samples.append(t50 * line.omega_n)
+        spread = (max(samples) - min(samples)) / np.mean(samples)
+        assert spread < 0.12
+        assert scaled_delay(z) == pytest.approx(np.mean(samples), rel=0.08)
+
+    def test_off_diagonal_corners_spread_more(self):
+        """Quantified reproduction finding: the corners (RT, CT) =
+        (1, 0) / (0, 1) -- which Fig. 2 does not show -- spread by
+        ~25% at mid-zeta.  'Primarily a function of zeta' holds on the
+        diagonal and for gate-loaded lines, not uniformly."""
+        z = 0.8
+        samples = []
+        for r_ratio, c_ratio in ((0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)):
+            line = DriverLineLoad.for_zeta(z, r_ratio, c_ratio)
+            t50 = simulated_delay_50(line, route="tline")
+            samples.append(t50 * line.omega_n)
+        spread = (max(samples) - min(samples)) / np.mean(samples)
+        assert 0.15 < spread < 0.40

@@ -1,0 +1,85 @@
+"""Tests for repro.spice.ac: frequency sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.ac import ac_sweep
+from repro.spice.ladder import LadderSpec, build_ladder_circuit, build_ladder_state_space
+from repro.spice.netlist import Circuit, Step
+
+
+def rc_filter(r=1000.0, c=1e-12) -> Circuit:
+    ckt = Circuit()
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, 1.0))
+    ckt.add_resistor("r1", "in", "out", r)
+    ckt.add_capacitor("c1", "out", "0", c)
+    return ckt
+
+
+class TestAcSweep:
+    def test_rc_pole(self):
+        r, c = 1000.0, 1e-12
+        omegas = np.array([0.0, 1.0 / (r * c), 10.0 / (r * c)])
+        result = ac_sweep(rc_filter(r, c), omegas)
+        h = result.transfer("out", "in")
+        expected = 1.0 / (1.0 + 1j * omegas * r * c)
+        assert np.allclose(h, expected)
+
+    def test_input_node_unity(self):
+        result = ac_sweep(rc_filter(), [1e9])
+        assert np.allclose(result.voltage("in"), 1.0)
+
+    def test_ground_is_zero(self):
+        result = ac_sweep(rc_filter(), [1e9])
+        assert np.allclose(result.voltage("0"), 0.0)
+
+    def test_named_source_required_when_ambiguous(self):
+        ckt = rc_filter()
+        ckt.add_voltage_source("vbias", "b", "0", 1.0)
+        ckt.add_resistor("rb", "b", "out", 1e6)
+        with pytest.raises(NetlistError, match="input_source"):
+            ac_sweep(ckt, [1e9])
+        # Works when named.
+        result = ac_sweep(ckt, [1e9], input_source="vin")
+        assert result.states.shape[0] == 1
+
+    def test_unknown_source(self):
+        with pytest.raises(NetlistError, match="no voltage source"):
+            ac_sweep(rc_filter(), [1e9], input_source="vx")
+
+    def test_unknown_node_lookup(self):
+        result = ac_sweep(rc_filter(), [1e9])
+        with pytest.raises(NetlistError, match="unknown node"):
+            result.voltage("zz")
+
+
+class TestLadderCrossValidation:
+    def test_ac_matches_statespace_transfer(self):
+        """The MNA AC sweep of a ladder equals its state-space transfer."""
+        spec = LadderSpec(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13,
+                          n_segments=10, topology="PI")
+        model = build_ladder_state_space(spec)
+        omegas = np.array([1e7, 1e8, 1e9, 5e9])
+        ac = ac_sweep(build_ladder_circuit(spec), omegas)
+        h_ac = ac.transfer(spec.output_node, "in")
+        h_ss = model.transfer_at(1j * omegas)[:, 0, 0]
+        assert np.allclose(h_ac, h_ss, rtol=1e-10)
+
+    def test_ladder_ac_converges_to_distributed(self):
+        """Lumped frequency response approaches the exact line's."""
+        from repro.tline.transfer import line_transfer_function
+
+        kw = dict(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+        exact = line_transfer_function(**kw)
+        omegas = np.array([1e8, 5e8, 1e9])
+        errors = []
+        for n in (8, 64):
+            spec = LadderSpec(**kw, n_segments=n, topology="PI")
+            ac = ac_sweep(build_ladder_circuit(spec), omegas)
+            h = ac.transfer(spec.output_node, "in")
+            errors.append(np.max(np.abs(h - exact(1j * omegas))))
+        assert errors[1] < errors[0]
+        assert errors[1] < 5e-3

@@ -1,0 +1,171 @@
+"""Tests for controlled sources and mutual inductance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.ac import ac_sweep
+from repro.spice.dc import dc_operating_point
+from repro.spice.netlist import Circuit, MutualInductance, Step
+from repro.spice.transient import simulate_transient
+
+
+class TestVcvs:
+    def test_ideal_amplifier(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "a", "0", 0.2)
+        ckt.add_resistor("rin", "a", "0", 1e6)
+        ckt.add_vcvs("e1", "out", "0", "a", "0", gain=5.0)
+        ckt.add_resistor("rload", "out", "0", 50.0)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(1.0)
+
+    def test_differential_sensing(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "p", "0", 3.0)
+        ckt.add_voltage_source("v2", "n", "0", 1.0)
+        ckt.add_resistor("r1", "p", "0", 1e3)
+        ckt.add_resistor("r2", "n", "0", 1e3)
+        ckt.add_vcvs("e1", "out", "0", "p", "n", gain=2.0)
+        ckt.add_resistor("rload", "out", "0", 1e3)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(4.0)
+
+    def test_drives_stiffly(self):
+        """An ideal VCVS holds its output against any load."""
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "a", "0", 1.0)
+        ckt.add_resistor("rin", "a", "0", 1e3)
+        ckt.add_vcvs("e1", "out", "0", "a", "0", gain=1.0)
+        ckt.add_resistor("rload", "out", "0", 0.001)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(1.0)
+
+
+class TestVccs:
+    def test_transconductance(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "a", "0", 2.0)
+        ckt.add_resistor("rin", "a", "0", 1e6)
+        # 1 mS * 2 V = 2 mA pulled out of node "out" -> -2 V across 1k.
+        ckt.add_vccs("g1", "out", "0", "a", "0", transconductance=1e-3)
+        ckt.add_resistor("rload", "out", "0", 1e3)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(-2.0)
+
+    def test_gyrator_inverts_impedance(self):
+        """Two back-to-back VCCS make a gyrator: a capacitor at port 2
+        looks inductive at port 1 (L_eff = C / gm^2)."""
+        gm, cap = 1e-3, 1e-9
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "p1", "0", 1.0)
+        ckt.add_vccs("gfwd", "p2", "0", "p1", "0", transconductance=gm)
+        ckt.add_vccs("grev", "p1", "0", "p2", "0", transconductance=-gm)
+        ckt.add_capacitor("c1", "p2", "0", cap)
+        omega = 2 * np.pi * 1e5
+        ac = ac_sweep(ckt, [omega])
+        # Current drawn from the source: I = V / (j*w*L_eff).
+        i_source = -ac.current("vin")[0]
+        l_eff = cap / gm**2
+        expected = 1.0 / (1j * omega * l_eff)
+        assert np.isclose(i_source, expected, rtol=1e-9)
+
+
+class TestCccsCcvs:
+    def test_current_mirror(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("vref", "a", "0", 1.0)
+        ckt.add_resistor("rref", "a", "b", 1e3)
+        ckt.add_voltage_source("vsense", "b", "0", 0.0)  # ammeter
+        ckt.add_cccs("f1", "out", "0", "vsense", gain=2.0)
+        ckt.add_resistor("rload", "out", "0", 500.0)
+        sol = dc_operating_point(ckt)
+        # 1 mA sensed, mirrored x2, pulled OUT of node "out".
+        assert sol.voltage("out") == pytest.approx(-1.0)
+
+    def test_transresistance(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "a", "0", 1.0)
+        ckt.add_resistor("r1", "a", "b", 1e3)
+        ckt.add_voltage_source("vsense", "b", "0", 0.0)
+        ckt.add_ccvs("h1", "out", "0", "vsense", transresistance=5e3)
+        ckt.add_resistor("rload", "out", "0", 1e3)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(5.0)
+
+    def test_unknown_control_rejected(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "a", "0", 1.0)
+        ckt.add_resistor("r1", "a", "0", 1e3)
+        ckt.add_cccs("f1", "a", "0", "nope", gain=1.0)
+        with pytest.raises(NetlistError, match="branch current"):
+            ckt.validate()
+
+
+class TestMutualInductance:
+    def coupled_series(self, coupling: float) -> complex:
+        """Input impedance of two series coupled inductors at 1 Mrad/s."""
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "a", "0", 1.0)
+        ckt.add_inductor("l1", "a", "b", 1e-6)
+        ckt.add_inductor("l2", "b", "c", 4e-6)
+        ckt.add_resistor("rload", "c", "0", 1e-3)
+        ckt.add_mutual_inductance("k12", "l1", "l2", coupling)
+        omega = 1e6
+        ac = ac_sweep(ckt, [omega])
+        return 1.0 / (-ac.current("vin")[0])
+
+    def test_series_aiding(self):
+        """Z = jw(L1 + L2 + 2M) with M = k*sqrt(L1*L2)."""
+        z = self.coupled_series(0.5)
+        m = 0.5 * np.sqrt(1e-6 * 4e-6)
+        expected = 1j * 1e6 * (5e-6 + 2 * m)
+        assert np.isclose(z.imag, expected.imag, rtol=1e-6)
+
+    def test_series_opposing(self):
+        z = self.coupled_series(-0.5)
+        m = 0.5 * np.sqrt(4e-12)
+        expected = 1j * 1e6 * (5e-6 - 2 * m)
+        assert np.isclose(z.imag, expected.imag, rtol=1e-6)
+
+    def test_transformer_voltage_ratio(self):
+        """Open secondary: V2/V1 = M/L1 = k*sqrt(L2/L1)."""
+        k = 0.6
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "p", "0", 1.0)
+        ckt.add_inductor("lp", "p", "0", 1e-6)
+        ckt.add_inductor("ls", "s", "0", 4e-6)
+        ckt.add_resistor("rsec", "s", "0", 1e9)  # ~open secondary
+        ckt.add_mutual_inductance("k1", "lp", "ls", k)
+        ac = ac_sweep(ckt, [1e7])
+        ratio = abs(ac.transfer("s", "p")[0])
+        assert ratio == pytest.approx(k * np.sqrt(4e-6 / 1e-6), rel=1e-3)
+
+    def test_transient_energy_transfer(self):
+        """A step into the primary induces secondary voltage ~ M dI/dt."""
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "p", "0", Step(0.0, 1.0))
+        ckt.add_resistor("rp", "p", "x", 50.0)
+        ckt.add_inductor("lp", "x", "0", 1e-6)
+        ckt.add_inductor("ls", "s", "0", 1e-6)
+        ckt.add_resistor("rs", "s", "0", 1e6)
+        ckt.add_mutual_inductance("k1", "lp", "ls", 0.8)
+        result = simulate_transient(ckt, 1e-7, 1e-10)
+        secondary = result.voltage("s")
+        # At t -> 0+, I' = V/L_p... with open secondary V_s = (M/L1)*V_x.
+        early = secondary.values[2]
+        assert early == pytest.approx(0.8 * result.voltage("x").values[2], rel=0.05)
+
+    def test_validation(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("vin", "a", "0", 1.0)
+        ckt.add_inductor("l1", "a", "0", 1e-6)
+        with pytest.raises(NetlistError, match="unknown"):
+            ckt.add_mutual_inductance("k1", "l1", "l2", 0.5)
+            ckt.validate()
+        with pytest.raises(NetlistError, match="coupling"):
+            MutualInductance("k2", "l1", "l2", 1.5)
+        with pytest.raises(NetlistError, match="itself"):
+            MutualInductance("k3", "l1", "l1", 0.5)

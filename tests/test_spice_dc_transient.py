@@ -1,0 +1,199 @@
+"""Tests for repro.spice.dc and repro.spice.transient."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.spice.dc import dc_operating_point
+from repro.spice.netlist import Circuit, Step
+from repro.spice.transient import IntegrationMethod, simulate_transient
+
+
+class TestDcOperatingPoint:
+    def test_resistor_divider(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", "0", 10.0)
+        ckt.add_resistor("r1", "in", "out", 3000.0)
+        ckt.add_resistor("r2", "out", "0", 1000.0)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(2.5)
+        assert sol.voltage("in") == pytest.approx(10.0)
+        assert sol.voltage("0") == 0.0
+
+    def test_source_current(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", "0", 10.0)
+        ckt.add_resistor("r1", "in", "0", 2000.0)
+        sol = dc_operating_point(ckt)
+        # Positive branch current flows + -> - inside the source, so a
+        # sourcing supply reads negative.
+        assert sol.current("v1") == pytest.approx(-10.0 / 2000.0)
+
+    def test_inductor_is_dc_short(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "in", "0", 1.0)
+        ckt.add_inductor("l1", "in", "mid", 1e-9)
+        ckt.add_resistor("r1", "mid", "0", 100.0)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("mid") == pytest.approx(1.0)
+        assert sol.current("l1") == pytest.approx(0.01)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit()
+        ckt.add_current_source("i1", "0", "a", 1e-3)
+        ckt.add_resistor("r1", "a", "0", 1000.0)
+        sol = dc_operating_point(ckt)
+        assert sol.voltage("a") == pytest.approx(1.0)
+
+    def test_floating_node_raises(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "a", "0", 1.0)
+        ckt.add_resistor("r1", "a", "b", 1.0)
+        ckt.add_capacitor("c1", "b", "c", 1e-12)
+        ckt.add_capacitor("c2", "c", "0", 1e-12)
+        with pytest.raises(SimulationError, match="singular"):
+            dc_operating_point(ckt)
+
+    def test_gmin_rescues_floating_node(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "a", "0", 1.0)
+        ckt.add_resistor("r1", "a", "b", 1.0)
+        ckt.add_capacitor("c1", "b", "c", 1e-12)
+        ckt.add_capacitor("c2", "c", "0", 1e-12)
+        sol = dc_operating_point(ckt, gmin=1e-12)
+        assert np.isfinite(sol.voltage("c"))
+
+    def test_time_dependent_source(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "a", "0", Step(1.0, 5.0, t_delay=1.0))
+        ckt.add_resistor("r1", "a", "0", 1.0)
+        assert dc_operating_point(ckt, time=0.0).voltage("a") == 1.0
+        assert dc_operating_point(ckt, time=2.0).voltage("a") == 5.0
+
+
+def rc_charge_circuit(r=1000.0, c=1e-12) -> Circuit:
+    ckt = Circuit()
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, 1.0))
+    ckt.add_resistor("r1", "in", "out", r)
+    ckt.add_capacitor("c1", "out", "0", c)
+    return ckt
+
+
+def series_rlc_circuit(r=20.0, l=1e-9, c=1e-12) -> Circuit:
+    ckt = Circuit()
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, 1.0))
+    ckt.add_resistor("r1", "in", "mid", r)
+    ckt.add_inductor("l1", "mid", "out", l)
+    ckt.add_capacitor("c1", "out", "0", c)
+    return ckt
+
+
+class TestTransientRc:
+    @pytest.mark.parametrize(
+        "method", [IntegrationMethod.TRAPEZOIDAL, IntegrationMethod.BACKWARD_EULER]
+    )
+    def test_rc_charging_curve(self, method):
+        tau = 1e-9
+        result = simulate_transient(
+            rc_charge_circuit(), t_stop=5e-9, dt=2e-12, method=method
+        )
+        w = result.voltage("out")
+        expected = 1.0 - np.exp(-w.times / tau)
+        tol = 5e-3 if method is IntegrationMethod.TRAPEZOIDAL else 3e-2
+        assert np.max(np.abs(w.values - expected)) < tol
+
+    def test_trapezoidal_second_order_convergence(self):
+        """Second-order convergence on a smooth (ramped) input.
+
+        An ideal step lands between grid points and degrades any
+        integrator to first order; the ramp keeps the input resolved.
+        """
+        tau, t_rise = 1e-9, 5e-10
+
+        def ramp_response(t: np.ndarray) -> np.ndarray:
+            def y(tt: np.ndarray) -> np.ndarray:
+                tt = np.maximum(tt, 0.0)
+                return (tt - tau + tau * np.exp(-tt / tau)) / t_rise
+
+            return y(t) - y(t - t_rise)
+
+        def max_error(dt: float) -> float:
+            ckt = Circuit()
+            ckt.add_voltage_source("vin", "in", "0", Step(0.0, 1.0, t_rise=t_rise))
+            ckt.add_resistor("r1", "in", "out", 1000.0)
+            ckt.add_capacitor("c1", "out", "0", 1e-12)
+            result = simulate_transient(ckt, 4e-9, dt)
+            w = result.voltage("out")
+            return float(np.max(np.abs(w.values - ramp_response(w.times))))
+
+        coarse, fine = max_error(1e-11), max_error(2.5e-12)
+        assert coarse / fine > 8.0  # ~16x for a second-order method
+
+    def test_source_current_waveform(self):
+        result = simulate_transient(rc_charge_circuit(), 5e-9, 2e-12)
+        i = result.current("vin")
+        # Charging current starts near -V/R (sourcing) and decays to ~0.
+        assert i.values[1] == pytest.approx(-1e-3, rel=0.1)
+        assert abs(i.values[-1]) < 1e-5
+
+    def test_ground_voltage_is_zero(self):
+        result = simulate_transient(rc_charge_circuit(), 1e-9, 1e-12)
+        assert np.all(result.voltage("0").values == 0.0)
+
+
+class TestTransientRlc:
+    def test_underdamped_oscillation_frequency(self):
+        r, l, c = 20.0, 1e-9, 1e-12
+        result = simulate_transient(series_rlc_circuit(r, l, c), 1e-9, 2e-13)
+        w = result.voltage("out")
+        alpha = r / (2 * l)
+        omega_d = np.sqrt(1.0 / (l * c) - alpha**2)
+        expected = 1.0 - np.exp(-alpha * w.times) * (
+            np.cos(omega_d * w.times) + alpha / omega_d * np.sin(omega_d * w.times)
+        )
+        assert np.max(np.abs(w.values - expected)) < 2e-2
+
+    def test_overshoot_matches_damping_theory(self):
+        """Peak overshoot = exp(-pi*zeta/sqrt(1-zeta^2)) for 2nd order."""
+        r, l, c = 20.0, 1e-9, 1e-12
+        result = simulate_transient(series_rlc_circuit(r, l, c), 2e-9, 2e-13)
+        zeta = (r / 2.0) * np.sqrt(c / l)
+        expected = np.exp(-np.pi * zeta / np.sqrt(1.0 - zeta * zeta))
+        got = result.voltage("out").overshoot(v_final=1.0)
+        assert got == pytest.approx(expected, rel=2e-2)
+
+    def test_inductor_current_settles_to_zero(self):
+        result = simulate_transient(series_rlc_circuit(), 2e-8, 1e-12)
+        assert abs(result.current("l1").values[-1]) < 1e-4
+
+
+class TestTransientValidation:
+    def test_bad_dt(self):
+        with pytest.raises(ParameterError, match="dt"):
+            simulate_transient(rc_charge_circuit(), 1e-9, 0.0)
+
+    def test_bad_span(self):
+        with pytest.raises(ParameterError, match="t_stop"):
+            simulate_transient(rc_charge_circuit(), 0.0, 1e-12)
+
+    def test_explicit_initial_state_shape(self):
+        with pytest.raises(ParameterError, match="shape"):
+            simulate_transient(
+                rc_charge_circuit(), 1e-9, 1e-12, initial=np.zeros(99)
+            )
+
+    def test_initial_zero(self):
+        result = simulate_transient(
+            rc_charge_circuit(), 1e-9, 1e-12, initial="zero"
+        )
+        assert result.voltage("out").values[0] == 0.0
+
+    def test_unknown_initial(self):
+        with pytest.raises(ParameterError, match="initial"):
+            simulate_transient(rc_charge_circuit(), 1e-9, 1e-12, initial="warm")
+
+    def test_n_steps(self):
+        result = simulate_transient(rc_charge_circuit(), 1e-9, 1e-10)
+        assert result.n_steps == 10

@@ -1,0 +1,164 @@
+"""Tests for repro.spice.ladder: lumped approximations of the line."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.spice.ladder import (
+    LadderSpec,
+    LadderTopology,
+    build_ladder_circuit,
+    build_ladder_state_space,
+)
+from repro.spice.netlist import Capacitor, Inductor, Resistor
+from repro.spice.statespace import simulate_step
+from repro.spice.transient import simulate_transient
+
+KW = dict(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+
+
+class TestSpecValidation:
+    def test_requires_positive_driver(self):
+        with pytest.raises(ParameterError):
+            LadderSpec(rt=1.0, lt=1e-9, ct=1e-12, rtr=0.0)
+
+    def test_requires_integer_segments(self):
+        with pytest.raises(ParameterError, match="n_segments"):
+            LadderSpec(rt=1.0, lt=1e-9, ct=1e-12, rtr=1.0, n_segments=2.5)  # type: ignore[arg-type]
+
+    def test_topology_coercion(self):
+        spec = LadderSpec(rt=1.0, lt=1e-9, ct=1e-12, rtr=1.0, topology="pi".upper())
+        assert spec.topology is LadderTopology.PI
+
+
+class TestChainConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        topology=st.sampled_from(["L", "PI", "T"]),
+        cl=st.floats(min_value=0.0, max_value=5e-13),
+    )
+    def test_totals_preserved(self, n, topology, cl):
+        """Lumping conserves total R, L and C.
+
+        One documented exception: an open-ended T ladder (cl == 0) drops
+        its dangling final half-branch -- electrically exact (the branch
+        carries no current) but the series totals are short by half a
+        segment.
+        """
+        spec = LadderSpec(**{**KW, "cl": cl}, n_segments=n, topology=topology)
+        chain = spec._chain()
+        expected_rt, expected_lt = spec.rt, spec.lt
+        if topology == "T" and cl == 0.0:
+            expected_rt -= spec.rt / (2 * n)
+            expected_lt -= spec.lt / (2 * n)
+        assert np.sum(chain.r) == pytest.approx(expected_rt, rel=1e-12)
+        assert np.sum(chain.l) == pytest.approx(expected_lt, rel=1e-12)
+        assert np.sum(chain.caps) == pytest.approx(spec.ct + cl, rel=1e-12)
+
+    def test_pi_has_half_end_caps(self):
+        spec = LadderSpec(**KW, n_segments=4, topology="PI")
+        caps = spec._chain().caps
+        assert caps[0] == pytest.approx(spec.ct / 8)
+        assert caps[-1] == pytest.approx(spec.ct / 8 + spec.cl)
+
+    def test_l_has_no_input_cap(self):
+        spec = LadderSpec(**KW, n_segments=4, topology="L")
+        assert spec._chain().caps[0] == 0.0
+
+    def test_t_has_half_end_branches(self):
+        spec = LadderSpec(**KW, n_segments=4, topology="T")
+        chain = spec._chain()
+        assert chain.r[0] == pytest.approx(chain.r[1] / 2)
+        assert chain.r[-1] == pytest.approx(chain.r[1] / 2)
+
+
+class TestCircuitBuilder:
+    def test_element_counts_pi(self):
+        spec = LadderSpec(**KW, n_segments=8, topology="PI")
+        ckt = build_ladder_circuit(spec)
+        # rtr + 8 segment resistors; 8 inductors; 9 caps; 1 source.
+        assert len(ckt.elements_of_type(Resistor)) == 9
+        assert len(ckt.elements_of_type(Inductor)) == 8
+        assert len(ckt.elements_of_type(Capacitor)) == 9
+
+    def test_output_node_exists(self):
+        spec = LadderSpec(**KW, n_segments=8)
+        ckt = build_ladder_circuit(spec)
+        assert spec.output_node in ckt.node_names()
+
+    def test_validates(self):
+        for topology in ("L", "PI", "T"):
+            spec = LadderSpec(**KW, n_segments=3, topology=topology)
+            build_ladder_circuit(spec).validate()
+
+    def test_step_amplitude(self):
+        spec = LadderSpec(**KW, n_segments=4)
+        ckt = build_ladder_circuit(spec, v_step=2.5)
+        result = simulate_transient(ckt, 2e-9, 1e-11)
+        assert result.voltage("in").values[-1] == pytest.approx(2.5)
+
+
+class TestStateSpaceBuilder:
+    def test_state_count_pi(self):
+        spec = LadderSpec(**KW, n_segments=8, topology="PI")
+        model = build_ladder_state_space(spec)
+        # 8 inductor currents + 9 cap voltages.
+        assert model.order == 17
+
+    def test_state_count_l(self):
+        spec = LadderSpec(**KW, n_segments=8, topology="L")
+        model = build_ladder_state_space(spec)
+        # 8 currents + 8 cap voltages (no input cap).
+        assert model.order == 16
+
+    def test_dc_gain_unity(self):
+        for topology in ("L", "PI", "T"):
+            spec = LadderSpec(**KW, n_segments=6, topology=topology)
+            model = build_ladder_state_space(spec)
+            h0 = model.transfer_at(np.array([1.0 + 0j]))[0, 0, 0]
+            assert abs(h0 - 1.0) < 1e-6
+
+    def test_t_topology_open_end(self):
+        spec = LadderSpec(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=0.0,
+                          n_segments=6, topology="T")
+        model = build_ladder_state_space(spec)
+        h0 = model.transfer_at(np.array([1.0 + 0j]))[0, 0, 0]
+        assert abs(h0 - 1.0) < 1e-6
+
+    def test_matches_circuit_route(self):
+        """MNA transient and state-space must agree on the same ladder."""
+        spec = LadderSpec(**KW, n_segments=12, topology="PI")
+        (w_ss,) = simulate_step(
+            build_ladder_state_space(spec), 6e-9, n_samples=1201
+        )
+        result = simulate_transient(build_ladder_circuit(spec), 6e-9, 1e-12)
+        w_mna = result.voltage(spec.output_node).resampled(w_ss.times)
+        assert np.max(np.abs(w_ss.values - w_mna.values)) < 5e-3
+
+    @pytest.mark.parametrize("topology", ["L", "PI", "T"])
+    def test_delay_converges_to_exact(self, topology):
+        """Ladder t50 approaches the exact distributed-line t50 as n grows."""
+        from repro.tline.transfer import DriverLineLoadTransfer
+        from repro.tline.waveform import Waveform
+
+        times = np.linspace(0.0, 8e-9, 3001)
+        exact = DriverLineLoadTransfer(
+            rt=KW["rt"], lt=KW["lt"], ct=KW["ct"], rtr=KW["rtr"], cl=KW["cl"]
+        ).step_response(times, M=60)
+        t50_exact = Waveform(times, exact).delay_50(v_final=1.0)
+
+        def t50(n: int) -> float:
+            spec = LadderSpec(**KW, n_segments=n, topology=topology)
+            (w,) = simulate_step(build_ladder_state_space(spec), 8e-9,
+                                 n_samples=3001)
+            return w.delay_50(v_final=1.0)
+
+        coarse = abs(t50(8) - t50_exact)
+        fine = abs(t50(64) - t50_exact)
+        assert fine < coarse
+        assert fine / t50_exact < 0.01

@@ -1,0 +1,122 @@
+"""Tests for repro.spice.mna: Modified Nodal Analysis stamps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.spice.mna import build_mna
+from repro.spice.netlist import Circuit, Step
+
+
+def rc_circuit() -> Circuit:
+    ckt = Circuit()
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, 1.0))
+    ckt.add_resistor("r1", "in", "out", 1000.0)
+    ckt.add_capacitor("c1", "out", "0", 1e-12)
+    return ckt
+
+
+class TestAssembly:
+    def test_unknown_count(self):
+        system = build_mna(rc_circuit())
+        # 2 nodes + 1 voltage-source branch.
+        assert system.size == 3
+        assert system.n_nodes == 2
+
+    def test_resistor_stamp(self):
+        system = build_mna(rc_circuit())
+        i = system.node_index["in"]
+        j = system.node_index["out"]
+        g = 1.0 / 1000.0
+        assert system.g[i, i] == pytest.approx(g)
+        assert system.g[j, j] == pytest.approx(g)
+        assert system.g[i, j] == pytest.approx(-g)
+        assert system.g[j, i] == pytest.approx(-g)
+
+    def test_capacitor_stamp_in_dynamic_matrix(self):
+        system = build_mna(rc_circuit())
+        j = system.node_index["out"]
+        assert system.c[j, j] == pytest.approx(1e-12)
+        assert np.all(system.g[j, j] != system.c[j, j])
+
+    def test_voltage_source_stamp(self):
+        system = build_mna(rc_circuit())
+        i = system.node_index["in"]
+        m = system.branch_index["vin"]
+        assert system.g[i, m] == 1.0
+        assert system.g[m, i] == 1.0
+
+    def test_inductor_stamp(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "a", "0", 1.0)
+        ckt.add_inductor("l1", "a", "b", 2e-9)
+        ckt.add_resistor("r1", "b", "0", 10.0)
+        system = build_mna(ckt)
+        m = system.branch_index["l1"]
+        a = system.node_index["a"]
+        b = system.node_index["b"]
+        assert system.g[m, a] == 1.0
+        assert system.g[m, b] == -1.0
+        assert system.g[a, m] == 1.0
+        assert system.g[b, m] == -1.0
+        assert system.c[m, m] == pytest.approx(-2e-9)
+
+    def test_current_source_rhs(self):
+        ckt = Circuit()
+        ckt.add_current_source("i1", "0", "a", 2.0)  # injects into a
+        ckt.add_resistor("r1", "a", "0", 5.0)
+        system = build_mna(ckt)
+        b = system.rhs(0.0)
+        assert b[system.node_index["a"]] == pytest.approx(2.0)
+
+    def test_rhs_matrix_matches_pointwise(self):
+        system = build_mna(rc_circuit())
+        times = np.array([0.0, 1e-12, 1.0])
+        stacked = system.rhs_matrix(times)
+        for k, t in enumerate(times):
+            assert np.allclose(stacked[k], system.rhs(float(t)))
+
+    def test_row_lookup_errors(self):
+        system = build_mna(rc_circuit())
+        with pytest.raises(NetlistError, match="unknown node"):
+            system.voltage_row("nope")
+        with pytest.raises(NetlistError, match="no branch current"):
+            system.current_row("r1")
+        with pytest.raises(NetlistError, match="ground"):
+            system.voltage_row("0")
+
+
+class TestConservationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=6
+        )
+    )
+    def test_series_resistor_chain_current(self, values):
+        """DC current through a resistor chain equals V / sum(R)."""
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "n0", "0", 1.0)
+        for i, r in enumerate(values):
+            ckt.add_resistor(f"r{i}", f"n{i}", f"n{i + 1}", r)
+        ckt.add_resistor("rterm", f"n{len(values)}", "0", 1.0)
+        system = build_mna(ckt)
+        x = np.linalg.solve(system.g, system.rhs(0.0))
+        current = -x[system.branch_index["v1"]]  # source convention
+        assert current == pytest.approx(1.0 / (sum(values) + 1.0), rel=1e-9)
+
+    def test_floating_node_is_singular(self):
+        ckt = Circuit()
+        ckt.add_voltage_source("v1", "a", "0", 1.0)
+        ckt.add_resistor("r1", "a", "b", 1.0)
+        ckt.add_capacitor("c1", "b", "0", 1e-12)
+        ckt.add_capacitor("c2", "b", "c", 1e-12)
+        ckt.add_capacitor("c3", "c", "0", 1e-12)
+        system = build_mna(ckt)
+        # Node c touches only capacitors: G row is all zero.
+        row = system.node_index["c"]
+        assert np.all(system.g[row] == 0.0)

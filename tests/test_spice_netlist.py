@@ -1,0 +1,184 @@
+"""Tests for repro.spice.netlist: circuit description and waveforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError, ParameterError
+from repro.spice.netlist import (
+    Capacitor,
+    Circuit,
+    Dc,
+    Inductor,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Step,
+    VoltageSource,
+    canonical_node,
+)
+
+
+class TestCanonicalNode:
+    def test_ground_aliases(self):
+        for alias in ("0", "gnd", "GND", "ground", 0):
+            assert canonical_node(alias) == "0"
+
+    def test_regular_node(self):
+        assert canonical_node("out") == "out"
+
+    def test_integer_node(self):
+        assert canonical_node(3) == "3"
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            canonical_node("")
+
+
+class TestWaveforms:
+    def test_dc(self):
+        w = Dc(2.5)
+        assert np.allclose(w(np.array([0.0, 1.0, 5.0])), 2.5)
+
+    def test_ideal_step_strict_at_delay(self):
+        """Value at exactly t_delay is still v0 (step at t_delay+)."""
+        w = Step(0.0, 1.0, t_delay=1e-9)
+        assert w.value_at(1e-9) == 0.0
+        assert w.value_at(1e-9 + 1e-15) == 1.0
+
+    def test_ideal_step_at_origin(self):
+        w = Step(0.0, 1.0)
+        assert w.value_at(0.0) == 0.0
+        assert w.value_at(1e-15) == 1.0
+
+    def test_ramped_step(self):
+        w = Step(0.0, 2.0, t_delay=1.0, t_rise=2.0)
+        assert w.value_at(1.0) == 0.0
+        assert w.value_at(2.0) == pytest.approx(1.0)
+        assert w.value_at(3.0) == pytest.approx(2.0)
+        assert w.value_at(10.0) == pytest.approx(2.0)
+
+    def test_step_validation(self):
+        with pytest.raises(ParameterError):
+            Step(0.0, 1.0, t_delay=-1.0)
+
+    def test_pulse_shape(self):
+        w = Pulse(v0=0.0, v1=1.0, t_rise=0.1, t_fall=0.1, width=0.3, period=1.0)
+        assert w.value_at(0.05) == pytest.approx(0.5)
+        assert w.value_at(0.2) == pytest.approx(1.0)
+        assert w.value_at(0.45) == pytest.approx(0.5)
+        assert w.value_at(0.9) == pytest.approx(0.0)
+
+    def test_pulse_periodicity(self):
+        w = Pulse(v0=0.0, v1=1.0, width=0.3, period=1.0)
+        assert w.value_at(0.2) == w.value_at(1.2) == w.value_at(7.2)
+
+    def test_pulse_before_delay(self):
+        w = Pulse(v0=0.25, v1=1.0, t_delay=5.0, width=0.3, period=1.0)
+        assert w.value_at(4.9) == 0.25
+
+    def test_pulse_validation(self):
+        with pytest.raises(NetlistError, match="fit in the period"):
+            Pulse(v0=0.0, v1=1.0, t_rise=0.5, width=0.6, period=1.0)
+
+    def test_sine(self):
+        w = Sine(offset=1.0, amplitude=0.5, frequency=1.0)
+        assert w.value_at(0.0) == pytest.approx(1.0)
+        assert w.value_at(0.25) == pytest.approx(1.5)
+
+    def test_sine_holds_before_delay(self):
+        w = Sine(offset=1.0, amplitude=0.5, frequency=1.0, t_delay=2.0)
+        assert w.value_at(1.0) == 1.0
+
+    def test_pwl(self):
+        w = PiecewiseLinear(((0.0, 0.0), (1.0, 1.0), (3.0, 0.0)))
+        assert w.value_at(0.5) == pytest.approx(0.5)
+        assert w.value_at(2.0) == pytest.approx(0.5)
+        assert w.value_at(10.0) == pytest.approx(0.0)  # holds last value
+
+    def test_pwl_validation(self):
+        with pytest.raises(NetlistError, match="strictly increasing"):
+            PiecewiseLinear(((0.0, 0.0), (0.0, 1.0)))
+        with pytest.raises(NetlistError, match="two points"):
+            PiecewiseLinear(((0.0, 0.0),))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        v0=st.floats(-5, 5),
+        v1=st.floats(-5, 5),
+        delay=st.floats(0, 2),
+    )
+    def test_step_range_property(self, v0, v1, delay):
+        w = Step(v0, v1, t_delay=delay)
+        t = np.linspace(0.0, 4.0, 41)
+        values = w(t)
+        lo, hi = min(v0, v1), max(v0, v1)
+        assert np.all(values >= lo) and np.all(values <= hi)
+
+
+class TestElements:
+    def test_resistor_positive(self):
+        with pytest.raises(ParameterError):
+            Resistor("r1", "a", "b", 0.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetlistError, match="itself"):
+            Resistor("r1", "a", "a", 10.0)
+
+    def test_branch_current_flags(self):
+        assert Inductor("l1", "a", "0", 1e-9).needs_branch_current
+        assert VoltageSource("v1", "a", "0").needs_branch_current
+        assert not Resistor("r1", "a", "0", 1.0).needs_branch_current
+        assert not Capacitor("c1", "a", "0", 1e-12).needs_branch_current
+
+
+class TestCircuit:
+    def make_divider(self) -> Circuit:
+        ckt = Circuit("divider")
+        ckt.add_voltage_source("vin", "in", "0", 1.0)
+        ckt.add_resistor("r1", "in", "out", 1000.0)
+        ckt.add_resistor("r2", "out", "0", 1000.0)
+        return ckt
+
+    def test_node_names_in_order(self):
+        assert self.make_divider().node_names() == ["in", "out"]
+
+    def test_duplicate_name_rejected(self):
+        ckt = self.make_divider()
+        with pytest.raises(NetlistError, match="duplicate"):
+            ckt.add_resistor("r1", "x", "0", 1.0)
+
+    def test_numeric_source_becomes_dc(self):
+        ckt = self.make_divider()
+        source = ckt.elements_of_type(VoltageSource)[0]
+        assert isinstance(source.waveform, Dc)
+
+    def test_validate_ok(self):
+        self.make_divider().validate()
+
+    def test_validate_empty(self):
+        with pytest.raises(NetlistError, match="no elements"):
+            Circuit().validate()
+
+    def test_validate_no_ground(self):
+        ckt = Circuit()
+        ckt.add_resistor("r1", "a", "b", 1.0)
+        with pytest.raises(NetlistError, match="ground"):
+            ckt.validate()
+
+    def test_validate_disconnected_island(self):
+        ckt = self.make_divider()
+        ckt.add_resistor("r3", "island1", "island2", 1.0)
+        with pytest.raises(NetlistError, match="not connected"):
+            ckt.validate()
+
+    def test_len(self):
+        assert len(self.make_divider()) == 3
+
+    def test_elements_of_type(self):
+        ckt = self.make_divider()
+        assert len(ckt.elements_of_type(Resistor)) == 2

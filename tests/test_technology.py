@@ -1,0 +1,197 @@
+"""Tests for repro.technology: materials, parasitics, nodes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.technology import materials
+from repro.technology.nodes import PREDEFINED_NODES, node_by_name
+from repro.technology.parasitics import (
+    WireGeometry,
+    coupling_capacitance_per_length,
+    extract_rlc,
+    partial_self_inductance_per_length,
+    wire_capacitance_per_length,
+    wire_inductance_per_length,
+    wire_resistance_per_length,
+)
+
+UM = 1e-6
+
+
+class TestMaterials:
+    def test_copper_beats_aluminum(self):
+        assert materials.COPPER_RESISTIVITY < materials.ALUMINUM_RESISTIVITY
+
+    def test_lowk_below_sio2(self):
+        assert (
+            materials.LOWK_RELATIVE_PERMITTIVITY
+            < materials.SIO2_RELATIVE_PERMITTIVITY
+        )
+
+    def test_effective_resistivity_grows_when_narrow(self):
+        bulk = materials.COPPER_RESISTIVITY
+        wide = materials.effective_resistivity(bulk, 10e-6, 10e-6)
+        narrow = materials.effective_resistivity(bulk, 50e-9, 50e-9)
+        assert wide == pytest.approx(bulk, rel=0.01)
+        assert narrow > 1.4 * bulk
+
+    def test_light_speed_consistency(self):
+        c = 1.0 / math.sqrt(materials.MU0 * materials.EPS0)
+        assert c == pytest.approx(2.9979e8, rel=1e-4)
+
+
+class TestResistance:
+    def test_formula(self):
+        r = wire_resistance_per_length(1.72e-8, 1 * UM, 1 * UM)
+        assert r == pytest.approx(1.72e4)
+
+    def test_size_effect_increases(self):
+        base = wire_resistance_per_length(1.72e-8, 0.1 * UM, 0.1 * UM)
+        degraded = wire_resistance_per_length(
+            1.72e-8, 0.1 * UM, 0.1 * UM, size_effect=True
+        )
+        assert degraded > base
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            wire_resistance_per_length(-1.0, UM, UM)
+
+
+class TestCapacitance:
+    def test_plausible_magnitude(self):
+        """On-chip wires run ~100-300 pF/m."""
+        c = wire_capacitance_per_length(1 * UM, 1 * UM, 1 * UM)
+        assert 5e-11 < c < 5e-10
+
+    def test_wider_wire_more_cap(self):
+        narrow = wire_capacitance_per_length(0.5 * UM, UM, UM)
+        wide = wire_capacitance_per_length(4 * UM, UM, UM)
+        assert wide > narrow
+
+    def test_scales_with_dielectric(self):
+        sio2 = wire_capacitance_per_length(UM, UM, UM, eps_r=3.9)
+        lowk = wire_capacitance_per_length(UM, UM, UM, eps_r=2.7)
+        assert lowk == pytest.approx(sio2 * 2.7 / 3.9, rel=1e-12)
+
+    def test_coupling_formula(self):
+        c = coupling_capacitance_per_length(UM, UM, eps_r=3.9)
+        assert c == pytest.approx(materials.EPS0 * 3.9, rel=1e-12)
+
+    def test_coupling_added_in_extract(self):
+        isolated = WireGeometry(width=UM, thickness=UM, height=UM)
+        coupled = WireGeometry(width=UM, thickness=UM, height=UM, spacing=UM)
+        _, _, c_iso = extract_rlc(isolated)
+        _, _, c_cpl = extract_rlc(coupled)
+        assert c_cpl == pytest.approx(
+            c_iso + 2 * coupling_capacitance_per_length(UM, UM), rel=1e-12
+        )
+
+
+class TestInductance:
+    def test_narrow_branch_continuous_with_wide(self):
+        just_below = wire_inductance_per_length(0.999 * UM, UM)
+        just_above = wire_inductance_per_length(1.001 * UM, UM)
+        assert just_below == pytest.approx(just_above, rel=0.05)
+
+    def test_wider_wire_less_inductance(self):
+        narrow = wire_inductance_per_length(0.5 * UM, UM)
+        wide = wire_inductance_per_length(8 * UM, UM)
+        assert wide < narrow
+
+    def test_plausible_magnitude(self):
+        """On-chip wires run ~0.2-1 uH/m (0.2-1 pH/um)."""
+        l = wire_inductance_per_length(2 * UM, UM)
+        assert 1e-7 < l < 1.5e-6
+
+    def test_partial_inductance_grows_with_length(self):
+        short = partial_self_inductance_per_length(UM, UM, 1e-3)
+        long = partial_self_inductance_per_length(UM, UM, 1e-2)
+        assert long > short
+
+    def test_partial_inductance_needs_slender_wire(self):
+        with pytest.raises(ParameterError, match="length"):
+            partial_self_inductance_per_length(1e-3, 1e-3, 1e-4)
+
+    def test_extract_requires_length_without_plane(self):
+        geom = WireGeometry(
+            width=UM, thickness=UM, height=UM, has_return_plane=False
+        )
+        with pytest.raises(ParameterError, match="length"):
+            extract_rlc(geom)
+        r, l, c = extract_rlc(geom, length=1e-2)
+        assert l > 0
+
+
+class TestExtractProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width=st.floats(min_value=0.1, max_value=10.0),
+        thickness=st.floats(min_value=0.1, max_value=5.0),
+        height=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_all_positive(self, width, thickness, height):
+        geom = WireGeometry(
+            width=width * UM, thickness=thickness * UM, height=height * UM
+        )
+        r, l, c = extract_rlc(geom)
+        assert r > 0 and l > 0 and c > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.floats(min_value=0.2, max_value=10.0))
+    def test_lc_product_near_dielectric_limit(self, width):
+        """For a microstrip, L*C ~ mu0*eps (within geometry fudge)."""
+        geom = WireGeometry(width=width * UM, thickness=UM, height=UM)
+        _, l, c = extract_rlc(geom)
+        ideal = materials.MU0 * materials.EPS0 * geom.eps_r
+        assert 0.3 * ideal < l * c < 30.0 * ideal
+
+
+class TestNodes:
+    def test_lookup(self):
+        node = node_by_name("250nm")
+        assert node.feature_size == pytest.approx(250e-9)
+
+    def test_unknown_node(self):
+        with pytest.raises(ParameterError, match="known nodes"):
+            node_by_name("3nm")
+
+    def test_paper_anchor_tlr_at_250nm(self):
+        """T_{L/R} ~= 5 'common for a current 0.25 um technology'."""
+        assert node_by_name("250nm").tlr("global") == pytest.approx(5.5, abs=1.0)
+
+    def test_intrinsic_delay_shrinks_with_scaling(self):
+        delays = [node.intrinsic_delay for node in PREDEFINED_NODES]
+        assert all(b < a for a, b in zip(delays, delays[1:]))
+
+    def test_tlr_grows_on_copper_nodes(self):
+        copper = [n for n in PREDEFINED_NODES if n.name != "350nm"]
+        tlrs = [n.tlr("global") for n in copper]
+        assert all(b > a for a, b in zip(tlrs, tlrs[1:]))
+
+    def test_line_construction(self):
+        node = node_by_name("250nm")
+        line = node.line(0.01, driver_size=100.0, load_size=100.0)
+        assert line.rtr == pytest.approx(node.r0 / 100.0)
+        assert line.cl == pytest.approx(node.c0 * 100.0)
+        assert line.rt > 0 and line.lt > 0 and line.ct > 0
+
+    def test_intermediate_layer_more_resistive(self):
+        node = node_by_name("250nm")
+        r_global, _, _ = node.wire_rlc("global")
+        r_mid, _, _ = node.wire_rlc("intermediate")
+        assert r_mid > r_global
+
+    def test_unknown_layer(self):
+        with pytest.raises(ParameterError, match="layer"):
+            node_by_name("250nm").wire_rlc("poly")
+
+    def test_min_buffer(self):
+        node = node_by_name("250nm")
+        buffer = node.min_buffer()
+        assert buffer.intrinsic_delay == pytest.approx(node.intrinsic_delay)

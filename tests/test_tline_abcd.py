@@ -1,0 +1,160 @@
+"""Tests for repro.tline.abcd: two-port algebra and the exact line."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.tline.abcd import (
+    TwoPort,
+    cosh_theta,
+    rlc_line,
+    series_impedance,
+    series_inductor,
+    series_resistor,
+    shunt_admittance,
+    shunt_capacitor,
+    sinhc_theta,
+)
+
+S_POINTS = np.array([1e6 + 0j, 1e8 + 5e8j, -2e8 + 1e9j])
+
+
+class TestHyperbolicHelpers:
+    def test_cosh_small_argument_series(self):
+        theta_sq = np.array([1e-16 + 0j])
+        assert np.allclose(cosh_theta(theta_sq), 1.0 + theta_sq / 2, rtol=1e-14)
+
+    def test_cosh_moderate(self):
+        theta_sq = np.array([4.0 + 0j])
+        assert np.allclose(cosh_theta(theta_sq), np.cosh(2.0))
+
+    def test_sinhc_small_argument(self):
+        theta_sq = np.array([1e-16 + 0j])
+        assert np.allclose(sinhc_theta(theta_sq), 1.0 + theta_sq / 6, rtol=1e-14)
+
+    def test_sinhc_moderate(self):
+        theta_sq = np.array([9.0 + 0j])
+        assert np.allclose(sinhc_theta(theta_sq), np.sinh(3.0) / 3.0)
+
+    def test_branch_independence(self):
+        """Even functions of theta: value same for theta_sq on any branch."""
+        theta_sq = np.array([-4.0 + 0j])  # theta = 2j
+        assert np.allclose(cosh_theta(theta_sq), np.cos(2.0))
+        assert np.allclose(sinhc_theta(theta_sq), np.sin(2.0) / 2.0)
+
+
+class TestElementaryTwoPorts:
+    def test_series_impedance_entries(self):
+        tp = series_impedance(50.0)
+        a, b, c, d = tp.abcd(S_POINTS)
+        assert np.allclose(a, 1.0) and np.allclose(d, 1.0)
+        assert np.allclose(b, 50.0) and np.allclose(c, 0.0)
+
+    def test_shunt_admittance_entries(self):
+        tp = shunt_admittance(0.02)
+        a, b, c, d = tp.abcd(S_POINTS)
+        assert np.allclose(a, 1.0) and np.allclose(d, 1.0)
+        assert np.allclose(b, 0.0) and np.allclose(c, 0.02)
+
+    def test_series_inductor_scales_with_s(self):
+        tp = series_inductor(1e-9)
+        _, b, _, _ = tp.abcd(S_POINTS)
+        assert np.allclose(b, S_POINTS * 1e-9)
+
+    def test_shunt_capacitor_scales_with_s(self):
+        tp = shunt_capacitor(1e-12)
+        _, _, c, _ = tp.abcd(S_POINTS)
+        assert np.allclose(c, S_POINTS * 1e-12)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ParameterError):
+            series_resistor(-1.0)
+
+
+class TestCascade:
+    def test_reciprocity(self):
+        """AD - BC == 1 for reciprocal networks, preserved by cascade."""
+        network = (
+            series_resistor(100.0)
+            @ shunt_capacitor(1e-12)
+            @ series_inductor(1e-9)
+            @ shunt_capacitor(2e-12)
+        )
+        a, b, c, d = network.abcd(S_POINTS)
+        assert np.allclose(a * d - b * c, 1.0)
+
+    def test_rc_divider_transfer(self):
+        """R into C: H = 1/(1 + sRC)."""
+        network = series_resistor(1000.0)
+        h = network.transfer_function(load_admittance=lambda s: s * 1e-12)
+        s = np.array([1e9 * 1j])
+        expected = 1.0 / (1.0 + s * 1e-9)
+        assert np.allclose(h(s), expected)
+
+    def test_cascade_matches_matrix_product(self):
+        t1 = series_resistor(10.0)
+        t2 = shunt_capacitor(1e-12)
+        s = S_POINTS
+        a1, b1, c1, d1 = t1.abcd(s)
+        a2, b2, c2, d2 = t2.abcd(s)
+        a, b, c, d = (t1 @ t2).abcd(s)
+        assert np.allclose(a, a1 * a2 + b1 * c2)
+        assert np.allclose(d, c1 * b2 + d1 * d2)
+
+    def test_cascade_rejects_non_twoport(self):
+        with pytest.raises(ParameterError):
+            series_resistor(1.0).cascade(42)  # type: ignore[arg-type]
+
+
+class TestRlcLine:
+    RT, LT, CT = 1000.0, 1e-6, 1e-12
+
+    def test_reciprocity(self):
+        line = rlc_line(self.RT, self.LT, self.CT)
+        a, b, c, d = line.abcd(S_POINTS)
+        assert np.allclose(a * d - b * c, 1.0, rtol=1e-9)
+
+    def test_symmetry(self):
+        line = rlc_line(self.RT, self.LT, self.CT)
+        a, _, _, d = line.abcd(S_POINTS)
+        assert np.allclose(a, d)
+
+    def test_low_frequency_is_lumped(self):
+        """As s -> 0 the line looks like series R + shunt C."""
+        line = rlc_line(self.RT, self.LT, self.CT)
+        s = np.array([1e3 + 0j])
+        a, b, c, _ = line.abcd(s)
+        assert np.allclose(b, self.RT, rtol=1e-3)
+        assert np.allclose(c, s * self.CT, rtol=1e-3)
+        assert np.allclose(a, 1.0, rtol=1e-3)
+
+    def test_matches_fine_lumped_cascade(self):
+        """The distributed line is the n -> inf limit of lumped sections."""
+        line = rlc_line(self.RT, self.LT, self.CT)
+        n = 400
+        section = (
+            series_impedance(lambda s: self.RT / n + s * self.LT / n)
+            @ shunt_admittance(lambda s: s * self.CT / n)
+        )
+        lumped = section
+        for _ in range(n - 1):
+            lumped = lumped @ section
+        s = np.array([2e8j, 1e8 + 1e8j])
+        a_exact, b_exact, _, _ = line.abcd(s)
+        a_lump, b_lump, _, _ = lumped.abcd(s)
+        assert np.allclose(a_exact, a_lump, rtol=2e-2)
+        assert np.allclose(b_exact, b_lump, rtol=2e-2)
+
+    def test_requires_shunt_element(self):
+        with pytest.raises(ParameterError, match="ct > 0"):
+            rlc_line(100.0, 1e-9, 0.0)
+
+    def test_input_impedance_dc_is_resistance(self):
+        """DC input impedance with shorted far end ... open: just check
+        a resistive line terminated by large admittance ~ Rt."""
+        line = rlc_line(self.RT, self.LT, self.CT)
+        zin = line.input_impedance(load_admittance=1e6)  # near-short
+        z = zin(np.array([1.0 + 0j]))
+        assert np.allclose(z, self.RT, rtol=1e-3)

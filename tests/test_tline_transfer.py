@@ -1,0 +1,139 @@
+"""Tests for repro.tline.transfer: the exact Fig. 1 transfer function."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.tline.transfer import (
+    DriverLineLoadTransfer,
+    denominator_coefficients,
+    line_transfer_function,
+    transfer_moments,
+)
+
+RT, LT, CT, RTR, CL = 1000.0, 1e-6, 1e-12, 100.0, 1e-13
+
+
+class TestTransferFunction:
+    def test_dc_gain_unity(self):
+        h = line_transfer_function(RT, LT, CT, RTR, CL)
+        assert np.allclose(h(np.array([1e-3 + 0j])), 1.0, rtol=1e-6)
+
+    def test_decays_at_high_frequency(self):
+        h = line_transfer_function(RT, LT, CT, RTR, CL)
+        val = h(np.array([1e14 + 0j]))
+        assert np.all(np.abs(val) < 1e-6)
+
+    def test_no_overflow_at_extreme_s(self):
+        h = line_transfer_function(RT, LT, CT, RTR, CL)
+        s = np.array([1e18 + 0j, -1e10 + 1e18j, 1e16 + 1e16j])
+        val = h(s)
+        assert np.all(np.isfinite(val))
+
+    def test_matches_abcd_formulation(self):
+        """Scaled evaluation agrees with the generic two-port route."""
+        from repro.tline.abcd import rlc_line
+
+        h_scaled = line_transfer_function(RT, LT, CT, RTR, CL)
+        h_abcd = rlc_line(RT, LT, CT).transfer_function(
+            source_impedance=RTR, load_admittance=lambda s: s * CL
+        )
+        s = np.array([1e8 + 2e8j, 5e8j, 1e9 + 0j])
+        assert np.allclose(h_scaled(s), h_abcd(s), rtol=1e-10)
+
+    def test_scalar_input_promoted(self):
+        h = line_transfer_function(RT, LT, CT)
+        assert h(1e6).shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            line_transfer_function(RT, LT, 0.0)
+        with pytest.raises(ParameterError):
+            line_transfer_function(-1.0, LT, CT)
+
+
+class TestDenominatorCoefficients:
+    def test_a0_is_one(self):
+        a = denominator_coefficients(RT, LT, CT, RTR, CL)
+        assert a[0] == pytest.approx(1.0)
+
+    def test_a1_matches_hand_derivation(self):
+        """a1 = Rtr*CL + Rt*Ct/2 + Rt*CL + Rtr*Ct (paper eq. 7)."""
+        a = denominator_coefficients(RT, LT, CT, RTR, CL)
+        expected = RTR * CL + RT * CT / 2 + RT * CL + RTR * CT
+        assert a[1] == pytest.approx(expected, rel=1e-12)
+
+    def test_a2_includes_inductance(self):
+        without_l = denominator_coefficients(RT, 1e-30, CT, RTR, CL)
+        with_l = denominator_coefficients(RT, LT, CT, RTR, CL)
+        # d(a2)/d(Lt) = Ct/2 + CL for the line + load terms.
+        delta = with_l[2] - without_l[2]
+        assert delta == pytest.approx(LT * (CT / 2 + CL), rel=1e-9)
+
+    def test_matches_numerical_derivative(self):
+        """Series evaluation matches finite differences of 1/H at 0."""
+        h = line_transfer_function(RT, LT, CT, RTR, CL)
+        a = denominator_coefficients(RT, LT, CT, RTR, CL, order=2)
+        eps = 1e3  # |s| small vs 1/a1 ~ 1e9
+        d_plus = 1.0 / complex(h(np.array([eps + 0j]))[0])
+        d_minus = 1.0 / complex(h(np.array([-eps + 0j]))[0])
+        slope = (d_plus - d_minus).real / (2 * eps)
+        assert slope == pytest.approx(a[1], rel=1e-4)
+
+    def test_bare_line_coefficients(self):
+        """No gate impedances: D = cosh(theta), a1 = RtCt/2, a2 exact."""
+        a = denominator_coefficients(RT, LT, CT, 0.0, 0.0, order=4)
+        assert a[1] == pytest.approx(RT * CT / 2)
+        # cosh: a2 = (RtCt)^2/24 + LtCt/2
+        assert a[2] == pytest.approx((RT * CT) ** 2 / 24 + LT * CT / 2)
+
+    def test_order_validation(self):
+        with pytest.raises(ParameterError, match="order"):
+            denominator_coefficients(RT, LT, CT, order=0)
+
+
+class TestTransferMoments:
+    def test_reciprocal_relation(self):
+        """Convolving H's series with D's series gives [1, 0, 0...]."""
+        a = denominator_coefficients(RT, LT, CT, RTR, CL, order=5)
+        m = transfer_moments(RT, LT, CT, RTR, CL, order=5)
+        product = np.convolve(a, m)[:6]
+        assert product[0] == pytest.approx(1.0)
+        assert np.allclose(product[1:], 0.0, atol=1e-22)
+
+    def test_first_moment_is_minus_elmore(self):
+        m = transfer_moments(RT, LT, CT, RTR, CL)
+        elmore = RTR * CL + RT * CT / 2 + RT * CL + RTR * CT
+        assert m[1] == pytest.approx(-elmore, rel=1e-12)
+
+
+class TestDriverLineLoadTransfer:
+    def test_step_response_monotone_for_overdamped(self):
+        h = DriverLineLoadTransfer(rt=RT, lt=1e-9, ct=CT, rtr=500.0, cl=CL)
+        t = np.linspace(0.0, 5e-9, 400)
+        v = h.step_response(t)
+        assert v[0] == 0.0
+        # Overdamped: no overshoot beyond numerical ripple.
+        assert np.max(v) < 1.02
+
+    def test_step_response_overshoots_when_underdamped(self):
+        h = DriverLineLoadTransfer(rt=RT, lt=LT, ct=CT, rtr=RTR, cl=CL)
+        t = np.linspace(0.0, 12e-9, 1200)
+        v = h.step_response(t)
+        assert np.max(v) > 1.1  # pronounced ringing
+
+    def test_frequency_response_magnitude_bounded_at_dc(self):
+        h = DriverLineLoadTransfer(rt=RT, lt=LT, ct=CT, rtr=RTR, cl=CL)
+        assert abs(h.frequency_response([1.0])[0]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_dc_gain(self):
+        h = DriverLineLoadTransfer(rt=RT, lt=LT, ct=CT, rtr=RTR, cl=CL)
+        assert h.dc_gain() == pytest.approx(1.0, rel=1e-6)
+
+    def test_moments_shortcut(self):
+        h = DriverLineLoadTransfer(rt=RT, lt=LT, ct=CT, rtr=RTR, cl=CL)
+        assert h.moments()[1] == pytest.approx(
+            transfer_moments(RT, LT, CT, RTR, CL)[1]
+        )

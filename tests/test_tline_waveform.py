@@ -1,0 +1,154 @@
+"""Tests for repro.tline.waveform: measurement utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError, ParameterError
+from repro.tline.waveform import (
+    Waveform,
+    first_crossing,
+    overshoot,
+    propagation_delay_50,
+    rise_time,
+    settling_time,
+)
+
+
+def exponential_rise(tau: float = 1.0, t_end: float = 10.0, n: int = 2001):
+    t = np.linspace(0.0, t_end, n)
+    return t, 1.0 - np.exp(-t / tau)
+
+
+class TestFirstCrossing:
+    def test_linear_ramp_exact(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([0.0, 1.0, 2.0])
+        assert first_crossing(t, v, 0.5) == pytest.approx(0.5)
+        assert first_crossing(t, v, 1.5) == pytest.approx(1.5)
+
+    def test_starts_above_level(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([2.0, 3.0])
+        assert first_crossing(t, v, 1.0) == 0.0
+
+    def test_falling_crossing(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([2.0, 1.0, 0.0])
+        assert first_crossing(t, v, 0.5, rising=False) == pytest.approx(1.5)
+
+    def test_never_crosses(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([0.0, 0.4])
+        with pytest.raises(AnalysisError, match="never crosses"):
+            first_crossing(t, v, 0.5)
+
+    def test_first_of_many_crossings(self):
+        t = np.linspace(0.0, 4 * np.pi, 4001)
+        v = np.sin(t)
+        got = first_crossing(t, v, 0.5)
+        assert got == pytest.approx(np.arcsin(0.5), abs=1e-3)
+
+    def test_validation_mismatched(self):
+        with pytest.raises(ParameterError):
+            first_crossing([0.0, 1.0], [0.0], 0.5)
+
+    def test_validation_nonmonotone_time(self):
+        with pytest.raises(ParameterError, match="strictly increasing"):
+            first_crossing([0.0, 1.0, 0.5], [0.0, 1.0, 2.0], 0.5)
+
+    def test_validation_nonfinite(self):
+        with pytest.raises(ParameterError, match="finite"):
+            first_crossing([0.0, 1.0], [0.0, np.nan], 0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(level=st.floats(min_value=0.05, max_value=0.95))
+    def test_interpolation_property(self, level):
+        """On a dense exponential, crossing matches the analytic inverse."""
+        t, v = exponential_rise()
+        got = first_crossing(t, v, level)
+        assert got == pytest.approx(-np.log(1.0 - level), abs=5e-3)
+
+
+class TestDelayAndRise:
+    def test_exponential_delay_50(self):
+        t, v = exponential_rise()
+        assert propagation_delay_50(t, v, v_final=1.0) == pytest.approx(
+            np.log(2.0), abs=1e-3
+        )
+
+    def test_default_final_value(self):
+        t, v = exponential_rise(t_end=20.0)
+        assert propagation_delay_50(t, v) == pytest.approx(np.log(2.0), abs=1e-2)
+
+    def test_delay_requires_rise(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([1.0, 1.0])
+        with pytest.raises(AnalysisError, match="does not exceed"):
+            propagation_delay_50(t, v, v_final=1.0)
+
+    def test_exponential_rise_time(self):
+        t, v = exponential_rise()
+        expected = np.log(0.9 / 0.1)  # ln 9
+        assert rise_time(t, v, v_final=1.0) == pytest.approx(expected, abs=2e-3)
+
+    def test_custom_thresholds(self):
+        t, v = exponential_rise()
+        got = rise_time(t, v, v_final=1.0, low=0.2, high=0.8)
+        assert got == pytest.approx(np.log(0.8 / 0.2), abs=2e-3)
+
+    def test_rise_threshold_validation(self):
+        t, v = exponential_rise()
+        with pytest.raises(ParameterError):
+            rise_time(t, v, low=0.9, high=0.1)
+
+
+class TestOvershootAndSettling:
+    def test_no_overshoot(self):
+        t, v = exponential_rise()
+        assert overshoot(t, v, v_final=1.0) == 0.0
+
+    def test_damped_oscillation_overshoot(self):
+        t = np.linspace(0.0, 20.0, 4001)
+        v = 1.0 - np.exp(-0.3 * t) * np.cos(2.0 * t)
+        got = overshoot(t, v, v_final=1.0)
+        # peak near t = pi/2 ... first max of 1 + e^{-0.3t}; analytic peak:
+        peak = np.max(v)
+        assert got == pytest.approx(peak - 1.0, abs=1e-9)
+        assert 0.2 < got < 0.8
+
+    def test_settling_time(self):
+        t, v = exponential_rise(t_end=12.0, n=4001)
+        got = settling_time(t, v, v_final=1.0, band=0.05)
+        assert got == pytest.approx(-np.log(0.05), abs=2e-2)
+
+    def test_settling_unsettled(self):
+        t = np.linspace(0.0, 1.0, 100)
+        v = t  # still rising at the end
+        with pytest.raises(AnalysisError, match="not settled"):
+            settling_time(t, v, v_final=2.0)
+
+
+class TestWaveformClass:
+    def test_construction_and_measurements(self):
+        t, v = exponential_rise()
+        w = Waveform(t, v)
+        assert w.delay_50(v_final=1.0) == pytest.approx(np.log(2.0), abs=1e-3)
+        assert w.final_value == pytest.approx(1.0, abs=1e-4)
+
+    def test_from_samples(self):
+        w = Waveform.from_samples([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        assert w.crossing(0.25) == pytest.approx(0.5)
+
+    def test_resampled(self):
+        t, v = exponential_rise()
+        w = Waveform(t, v).resampled(np.linspace(0.0, 5.0, 11))
+        assert w.times.size == 11
+        assert w.values[0] == pytest.approx(0.0)
+
+    def test_immutable_validation(self):
+        with pytest.raises(ParameterError):
+            Waveform(np.array([1.0]), np.array([1.0]))

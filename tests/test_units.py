@@ -1,0 +1,89 @@
+"""Tests for repro.units."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_constants(self):
+        assert units.PS == 1e-12
+        assert units.NS == 1e-9
+        assert units.FS == 1e-15
+
+    def test_impedance_constants(self):
+        assert units.PF == 1e-12
+        assert units.NH == 1e-9
+        assert units.KILOOHM == 1e3
+
+    def test_length_constants(self):
+        assert units.UM == 1e-6
+        assert units.MM == 1e-3
+
+    def test_composable(self):
+        assert 500 * units.OHM == 500.0
+        assert 1 * units.PF == 1e-12
+
+
+class TestSiScale:
+    def test_picoseconds(self):
+        scaled, prefix = units.si_scale(2.2e-12)
+        assert prefix == "p"
+        assert math.isclose(scaled, 2.2)
+
+    def test_kilo(self):
+        scaled, prefix = units.si_scale(5000.0)
+        assert prefix == "k"
+        assert math.isclose(scaled, 5.0)
+
+    def test_unity(self):
+        scaled, prefix = units.si_scale(1.0)
+        assert prefix == ""
+        assert scaled == 1.0
+
+    def test_zero_unscaled(self):
+        assert units.si_scale(0.0) == (0.0, "")
+
+    def test_nan_unscaled(self):
+        scaled, prefix = units.si_scale(float("nan"))
+        assert math.isnan(scaled)
+        assert prefix == ""
+
+    def test_negative_values(self):
+        scaled, prefix = units.si_scale(-3.3e-9)
+        assert prefix == "n"
+        assert math.isclose(scaled, -3.3)
+
+    @given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False))
+    def test_scaled_magnitude_in_band(self, value):
+        scaled, _ = units.si_scale(value)
+        assert 1.0 <= abs(scaled) < 1000.0 or value < 1e-15
+
+    @given(st.floats(min_value=1e-15, max_value=1e12, allow_nan=False))
+    def test_round_trip(self, value):
+        scaled, prefix = units.si_scale(value)
+        factors = {p: f for f, p in units._SI_PREFIXES}
+        assert math.isclose(scaled * factors[prefix], value, rel_tol=1e-12)
+
+
+class TestFormatting:
+    def test_format_si(self):
+        assert units.format_si(1.48e-9, "s") == "1.48 ns"
+
+    def test_format_si_no_unit(self):
+        assert units.format_si(2500.0) == "2.5 k"
+
+    def test_format_si_digits(self):
+        assert units.format_si(1234.5678, "Hz", digits=6) == "1.23457 kHz"
+
+    def test_format_percent(self):
+        assert units.format_percent(0.0534) == "5.34%"
+
+    def test_format_percent_digits(self):
+        assert units.format_percent(0.3, digits=2) == "30%"
