@@ -13,7 +13,13 @@ The package provides, from scratch:
 - a technology layer replacing the proprietary 0.25 um process data
   (:mod:`repro.technology`),
 - analyses and experiment drivers regenerating every table and figure
-  (:mod:`repro.analysis`, :mod:`repro.experiments`).
+  (:mod:`repro.analysis`, :mod:`repro.experiments`),
+- a vectorized batch-evaluation engine for design-space sweeps
+  (:mod:`repro.sweep`): cartesian/zipped/log-spaced parameter grids,
+  NumPy batch kernels that are the single implementation behind the
+  scalar closed forms, and a :class:`~repro.sweep.SweepRunner` with
+  in-memory + on-disk result caching and a worker pool for
+  simulator-backed sweeps (``python -m repro sweep``).
 
 Quickstart
 ----------
@@ -22,6 +28,16 @@ Quickstart
 ...                       rtr=100.0, cl=1e-13)
 >>> round(propagation_delay(line) * 1e12)   # ps; paper Table 1: 1062
 1061
+
+Batch evaluation of a whole grid (see :mod:`repro.sweep` for more):
+
+>>> from repro import Axis, ParameterGrid, Sweep, SweepRunner
+>>> grid = ParameterGrid(Axis.log("rt", 100.0, 10000.0, 5),
+...                      Axis("lt", [1e-9, 1e-6]))
+>>> result = SweepRunner().run(
+...     Sweep("propagation_delay", grid, fixed={"ct": 1e-12}))
+>>> result.output().shape
+(10,)
 """
 
 from repro.core.canonical import DriverLineLoad, omega_n, zeta
@@ -62,8 +78,9 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.sweep import Axis, ParameterGrid, Sweep, SweepResult, SweepRunner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -104,6 +121,12 @@ __all__ = [
     "SimulatorRoute",
     "simulated_delay_50",
     "simulated_step_waveform",
+    # sweep engine
+    "Axis",
+    "ParameterGrid",
+    "Sweep",
+    "SweepResult",
+    "SweepRunner",
     # errors
     "ReproError",
     "ParameterError",

@@ -1,10 +1,13 @@
-"""Command-line entry point: regenerate any reproduced artifact.
+"""Command-line entry point: regenerate artifacts and run sweeps.
 
 Usage::
 
     python -m repro list                # show the experiment registry
     python -m repro run EXP-E18         # regenerate one table/figure
     python -m repro run all             # regenerate everything (slow)
+    python -m repro sweep --list        # show the batch quantities
+    python -m repro sweep propagation_delay --axis rt=log:100:5000:7 \\
+        --fixed lt=1e-8 --fixed ct=1e-12
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import argparse
 import sys
 
 from repro.experiments import REGISTRY, render_table
+from repro.sweep.cli import add_sweep_arguments, run_sweep
 
 
 def _cmd_list() -> int:
@@ -43,15 +47,25 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of Ismail & Friedman (DAC 1999): "
-        "regenerate the paper's tables and figures.",
+        "regenerate the paper's tables and figures, or sweep the models "
+        "over parameter grids.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiment registry")
     run_parser = sub.add_parser("run", help="regenerate one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id, e.g. EXP-T1")
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="batch-evaluate a quantity over a parameter grid",
+        description="Vectorized batch evaluation over cartesian/zipped "
+        "parameter grids with result caching (see repro.sweep).",
+    )
+    add_sweep_arguments(sweep_parser)
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "sweep":
+        return run_sweep(args)
     return _cmd_run(args.experiment)
 
 

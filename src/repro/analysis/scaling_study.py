@@ -5,6 +5,9 @@ gate time constant ``R0*C0`` shrinks, so every penalty in Section III
 worsens with each technology generation.  This study walks the synthetic
 node table and evaluates ``T_{L/R}`` and the closed-form delay/area
 penalties on a fixed global-wire geometry.
+
+Both penalty columns are evaluated for the whole node table at once via
+the :mod:`repro.sweep.kernels` batch kernels.
 """
 
 from __future__ import annotations
@@ -12,9 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.penalty import (
-    area_increase_closed_form,
-    delay_increase_closed_form,
+import numpy as np
+
+from repro.sweep.kernels import (
+    batch_area_increase_percent,
+    batch_delay_increase_percent,
 )
 from repro.technology.nodes import PREDEFINED_NODES, TechnologyNode
 
@@ -43,17 +48,19 @@ def scaling_table(
     >>> all(b.tlr >= a.tlr for a, b in zip(rows[1:], rows[2:]))  # Cu nodes
     True
     """
-    rows = []
-    for node in nodes:
-        tlr = node.tlr(layer=layer)
-        rows.append(
-            ScalingRow(
-                node=node.name,
-                feature_size=node.feature_size,
-                intrinsic_delay=node.intrinsic_delay,
-                tlr=tlr,
-                delay_increase_percent=float(delay_increase_closed_form(tlr)),
-                area_increase_percent=float(area_increase_closed_form(tlr)),
-            )
+    tlrs = np.array([node.tlr(layer=layer) for node in nodes])
+    delay_pcts = batch_delay_increase_percent(tlrs)
+    area_pcts = batch_area_increase_percent(tlrs)
+    return [
+        ScalingRow(
+            node=node.name,
+            feature_size=node.feature_size,
+            intrinsic_delay=node.intrinsic_delay,
+            tlr=float(tlr),
+            delay_increase_percent=float(delay_pct),
+            area_increase_percent=float(area_pct),
         )
-    return rows
+        for node, tlr, delay_pct, area_pct in zip(
+            nodes, tlrs, delay_pcts, area_pcts
+        )
+    ]

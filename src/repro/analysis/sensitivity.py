@@ -6,11 +6,18 @@ moves the delay: in the RC regime the delay is degree-2 homogeneous in
 ``L`` and ``C`` and insensitive to ``R``.  The elasticities therefore
 sum to ~2 in the RC limit and ~1 in the LC limit -- a compact signature
 of the quadratic-to-linear transition that the test suite asserts.
+
+For the default (closed-form) delay the full central-difference stencil
+-- base point plus two perturbations per nonzero impedance -- is
+evaluated as one :func:`repro.sweep.kernels.batch_propagation_delay`
+call rather than up to eleven scalar evaluations.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+
+import numpy as np
 
 from repro.core.canonical import DriverLineLoad
 from repro.core.delay import propagation_delay
@@ -37,6 +44,8 @@ def delay_elasticities(
     """
     if not 0 < relative_step < 0.1:
         raise ParameterError(f"relative_step must be in (0, 0.1), got {relative_step}")
+    if delay_function is propagation_delay:
+        return _batched_elasticities(line, relative_step)
     base = delay_function(line)
     if base <= 0:
         raise ParameterError("baseline delay must be positive")
@@ -49,4 +58,33 @@ def delay_elasticities(
         up = delay_function(replace(line, **{name: value * (1 + relative_step)}))
         down = delay_function(replace(line, **{name: value * (1 - relative_step)}))
         out[name] = (up - down) / (2.0 * relative_step * base)
+    return out
+
+
+def _batched_elasticities(
+    line: DriverLineLoad, relative_step: float
+) -> dict[str, float]:
+    """The whole finite-difference stencil in one batch kernel call."""
+    from repro.sweep.kernels import batch_propagation_delay
+
+    active = [name for name in _FIELDS if getattr(line, name) != 0]
+    stencil = [{name: getattr(line, name) for name in _FIELDS}]
+    for name in active:
+        for sign in (1.0, -1.0):
+            point = dict(stencil[0])
+            point[name] = point[name] * (1 + sign * relative_step)
+            stencil.append(point)
+    columns = {
+        name: np.array([point[name] for point in stencil]) for name in _FIELDS
+    }
+    delays = batch_propagation_delay(
+        columns["rt"], columns["lt"], columns["ct"], columns["rtr"], columns["cl"]
+    )
+    base = delays[0]
+    if base <= 0:
+        raise ParameterError("baseline delay must be positive")
+    out = {name: 0.0 for name in _FIELDS}
+    for i, name in enumerate(active):
+        up, down = delays[1 + 2 * i], delays[2 + 2 * i]
+        out[name] = float((up - down) / (2.0 * relative_step * base))
     return out

@@ -6,6 +6,11 @@ zeta", with only weak residual dependence on RT and CT -- especially for
 quantifies that collapse: at fixed ``zeta`` it sweeps an (RT, CT) grid,
 measures the *simulated* scaled delay for each combination, and reports
 the spread.
+
+The (zeta, RT, CT) cross product is expressed as a
+:class:`~repro.sweep.grid.Sweep` of the ``simulated_delay_50`` quantity,
+so the expensive simulator calls fan out over the runner's worker pool
+and repeat runs hit its result cache.
 """
 
 from __future__ import annotations
@@ -14,12 +19,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.canonical import DriverLineLoad
 from repro.core.delay import scaled_delay
-from repro.core.simulate import simulated_delay_50
+from repro.core.simulate import SimulatorRoute
 from repro.errors import ParameterError
+from repro.sweep.grid import Axis, ParameterGrid, Sweep
+from repro.sweep.kernels import batch_omega_n
+from repro.sweep.runner import SweepRunner
 
 __all__ = ["CollapsePoint", "collapse_spread"]
+
+#: Shared cache for repeat collapse studies (the simulator-backed sweep
+#: is the expensive one); callers may substitute a disk-backed runner.
+_DEFAULT_RUNNER = SweepRunner()
 
 
 @dataclass(frozen=True)
@@ -61,6 +72,8 @@ def collapse_spread(
     ratio_grid=(0.0, 0.25, 0.5, 1.0),
     route: str = "tline",
     n_segments: int = 80,
+    runner: SweepRunner | None = None,
+    max_workers: int | None = None,
 ) -> list[CollapsePoint]:
     """Measure the ``t'_pd`` spread over (RT, CT) at each ``zeta``.
 
@@ -72,30 +85,48 @@ def collapse_spread(
         Values used for both RT and CT (full cross product).
     route, n_segments:
         Simulator settings (see :mod:`repro.core.simulate`).
+    runner:
+        A configured :class:`~repro.sweep.runner.SweepRunner` (e.g. with
+        a disk cache); a shared module-level runner is used when
+        omitted, so repeated studies hit its in-memory cache.
+    max_workers:
+        Worker-pool size for the simulator fan-out; giving one creates
+        a dedicated runner (ignored when ``runner`` is given).
     """
     zeta_values = np.atleast_1d(np.asarray(zeta_values, dtype=float))
     if np.any(zeta_values <= 0):
         raise ParameterError("zeta values must be positive")
-    points = []
-    for z in zeta_values:
-        samples = []
-        for r_ratio in ratio_grid:
-            for c_ratio in ratio_grid:
-                line = DriverLineLoad.for_zeta(
-                    z, r_ratio=r_ratio, c_ratio=c_ratio
-                )
-                t50 = simulated_delay_50(
-                    line, route=route, n_segments=n_segments
-                )
-                samples.append(t50 * line.omega_n)
-        arr = np.array(samples)
-        points.append(
-            CollapsePoint(
-                zeta=float(z),
-                minimum=float(arr.min()),
-                maximum=float(arr.max()),
-                mean=float(arr.mean()),
-                model=float(scaled_delay(z)),
-            )
+    ratios = [float(value) for value in ratio_grid]
+    grid = ParameterGrid(
+        Axis("zeta", zeta_values),
+        Axis("r_ratio", ratios),
+        Axis("c_ratio", ratios),
+    )
+    sweep = Sweep(
+        "simulated_delay_50",
+        grid,
+        options={"route": SimulatorRoute(route).value, "n_segments": n_segments},
+    )
+    if runner is None:
+        runner = (
+            _DEFAULT_RUNNER
+            if max_workers is None
+            else SweepRunner(max_workers=max_workers)
         )
-    return points
+    result = runner.run(sweep)
+    omega = batch_omega_n(
+        result.columns["lt"], result.columns["ct"], result.columns["cl"]
+    )
+    # C point order: zeta varies slowest, so each row of the reshape is
+    # one zeta's full (RT, CT) grid.
+    scaled = (result.output() * omega).reshape(zeta_values.size, -1)
+    return [
+        CollapsePoint(
+            zeta=float(z),
+            minimum=float(samples.min()),
+            maximum=float(samples.max()),
+            mean=float(samples.mean()),
+            model=float(scaled_delay(z)),
+        )
+        for z, samples in zip(zeta_values, scaled)
+    ]

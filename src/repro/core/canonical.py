@@ -54,8 +54,9 @@ def omega_n(lt: float, ct: float, cl: float = 0.0) -> float:
 def zeta_from_ratios(rt_over_2_sqrt: float, r_ratio: float, c_ratio: float) -> float:
     """``zeta`` given the prefactor ``(Rt/2)*sqrt(Ct/Lt)`` and RT, CT.
 
-    Split out so the repeater-section algebra (which manipulates the
-    dimensionless groups directly, eqs. 20-21) can share the expression.
+    The dimensionless-group form of eq. 6, kept as a cross-check target
+    for the test suite (the production path is
+    :func:`repro.sweep.kernels.batch_zeta`).
     """
     require_nonnegative("r_ratio", r_ratio)
     require_nonnegative("c_ratio", c_ratio)
@@ -73,23 +74,20 @@ def zeta(
     """Damping factor of the driver/line/load system (eq. 6).
 
     ``zeta < 1`` indicates an underdamped (inductance-dominated) response
-    with overshoot; large ``zeta`` recovers RC behaviour.
+    with overshoot; large ``zeta`` recovers RC behaviour.  The arithmetic
+    (including the ``rt == 0`` limit, where ``RT = Rtr/Rt`` diverges but
+    ``Rt*RT = Rtr`` stays finite) lives in
+    :func:`repro.sweep.kernels.batch_zeta` so the scalar path and the
+    batch sweep path share one implementation.
     """
     require_nonnegative("rt", rt)
     require_positive("lt", lt)
     require_positive("ct", ct)
     require_nonnegative("rtr", rtr)
     require_nonnegative("cl", cl)
-    if rt == 0 and rtr == 0:
-        return 0.0
-    if rt == 0:
-        # RT = Rtr/Rt diverges but Rt*RT = Rtr stays finite; expand:
-        # zeta = sqrt(Ct/Lt)/2 * (Rtr + Rtr*CL/Ct) / sqrt(1+CT) ... done below
-        c_ratio = cl / ct
-        pref = 0.5 * math.sqrt(ct / lt)
-        return pref * (rtr + rtr * c_ratio) / math.sqrt(1.0 + c_ratio)
-    prefactor = 0.5 * rt * math.sqrt(ct / lt)
-    return zeta_from_ratios(prefactor, rtr / rt, cl / ct)
+    from repro.sweep.kernels import batch_zeta
+
+    return float(batch_zeta(rt, lt, ct, rtr, cl))
 
 
 @dataclass(frozen=True)
@@ -173,10 +171,9 @@ class DriverLineLoad:
         require_nonnegative("c_ratio", c_ratio)
         require_positive("rt", rt)
         require_positive("ct", ct)
-        group = (
-            r_ratio + c_ratio + r_ratio * c_ratio + 0.5
-        ) / math.sqrt(1.0 + c_ratio)
-        lt = (rt * rt * ct) * group * group / (4.0 * zeta_target * zeta_target)
+        from repro.sweep.kernels import batch_lt_for_zeta
+
+        lt = float(batch_lt_for_zeta(zeta_target, r_ratio, c_ratio, rt, ct))
         return cls(
             rt=rt, lt=lt, ct=ct, rtr=r_ratio * rt, cl=c_ratio * ct
         )

@@ -52,18 +52,17 @@ FIT_LINEAR_COEFFICIENT = 1.48
 def scaled_delay(zeta_value):
     """Dimensionless 50% delay ``t'_pd(zeta)`` (eq. 9).
 
-    Accepts a scalar or array of non-negative damping factors.
+    Accepts a scalar or array of non-negative damping factors.  The
+    computation lives in :func:`repro.sweep.kernels.batch_scaled_delay`
+    so the scalar path and the batch sweep path share one
+    implementation.
 
     >>> round(float(scaled_delay(0.0)), 3)   # pure LC: time of flight
     1.0
     """
-    z = np.asarray(zeta_value, dtype=float)
-    if np.any(z < 0) or not np.all(np.isfinite(z)):
-        raise ParameterError("zeta must be finite and >= 0")
-    result = (
-        np.exp(-FIT_EXPONENT_COEFFICIENT * z**FIT_EXPONENT_POWER)
-        + FIT_LINEAR_COEFFICIENT * z
-    )
+    from repro.sweep.kernels import batch_scaled_delay
+
+    result = batch_scaled_delay(zeta_value)
     if np.isscalar(zeta_value) or np.ndim(zeta_value) == 0:
         return float(result)
     return result
@@ -77,7 +76,11 @@ def propagation_delay(line: DriverLineLoad) -> float:
     >>> round(propagation_delay(line) * 1e12)   # paper Table 1: 1062 ps
     1061
     """
-    return scaled_delay(line.zeta) / line.omega_n
+    from repro.sweep.kernels import batch_propagation_delay
+
+    return float(
+        batch_propagation_delay(line.rt, line.lt, line.ct, line.rtr, line.cl)
+    )
 
 
 def rc_limit_delay(line: DriverLineLoad) -> float:
@@ -87,11 +90,11 @@ def rc_limit_delay(line: DriverLineLoad) -> float:
     this is the classic ``0.37 * Rt * Ct`` distributed-RC delay of
     Sakurai [3] and Bakoglu [11].
     """
-    r_ratio, c_ratio = line.r_ratio, line.c_ratio
-    if math.isinf(r_ratio):
+    from repro.sweep.kernels import batch_rc_limit_delay
+
+    if math.isinf(line.r_ratio):
         raise ParameterError("rc_limit_delay requires rt > 0")
-    group = r_ratio + c_ratio + r_ratio * c_ratio + 0.5
-    return 0.5 * FIT_LINEAR_COEFFICIENT * line.rt * line.ct * group
+    return float(batch_rc_limit_delay(line.rt, line.ct, line.rtr, line.cl))
 
 
 def lc_limit_delay(line: DriverLineLoad) -> float:
@@ -100,14 +103,18 @@ def lc_limit_delay(line: DriverLineLoad) -> float:
     For a bare line this is the time of flight ``l * sqrt(L*C)`` --
     linear, not quadratic, in wire length.
     """
-    return 1.0 / line.omega_n
+    from repro.sweep.kernels import batch_lc_limit_delay
+
+    return float(batch_lc_limit_delay(line.lt, line.ct, line.cl))
 
 
 def time_of_flight(lt: float, ct: float) -> float:
     """Wavefront arrival time ``sqrt(Lt * Ct)`` of a lossless line."""
+    from repro.sweep.kernels import batch_time_of_flight
+
     require_nonnegative("lt", lt)
     require_nonnegative("ct", ct)
-    return math.sqrt(lt * ct)
+    return float(batch_time_of_flight(lt, ct))
 
 
 def delay_error_vs_reference(model_delay: float, reference_delay: float) -> float:

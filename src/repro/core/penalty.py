@@ -28,7 +28,6 @@ from repro.core.repeater import (
     RepeaterDesign,
     RepeaterSystem,
     bakoglu_rc_design,
-    error_factors,
     normalized_system,
     numerical_optimal_design,
     optimal_rlc_design,
@@ -44,22 +43,18 @@ __all__ = [
 ]
 
 
-def _check_tlr(tlr) -> np.ndarray:
-    t = np.asarray(tlr, dtype=float)
-    if np.any(t < 0) or not np.all(np.isfinite(t)):
-        raise ParameterError("T_{L/R} must be finite and >= 0")
-    return t
-
-
 def delay_increase_closed_form(tlr):
     """Percent total-delay increase from RC-based insertion (eq. 17).
 
     ``%increase = 30*T / (0.5 + T + 23*exp(-0.48*T) + 10*exp(-4*T))``.
     Zero at ``T = 0``, saturating at 30% for large ``T``; ~10/20/28% at
-    ``T = 3/5/10`` (the paper rounds the last to 30%).  Accepts arrays.
+    ``T = 3/5/10`` (the paper rounds the last to 30%).  Accepts arrays;
+    the computation is
+    :func:`repro.sweep.kernels.batch_delay_increase_percent`.
     """
-    t = _check_tlr(tlr)
-    result = 30.0 * t / (0.5 + t + 23.0 * np.exp(-0.48 * t) + 10.0 * np.exp(-4.0 * t))
+    from repro.sweep.kernels import batch_delay_increase_percent
+
+    result = batch_delay_increase_percent(tlr)
     return float(result) if np.ndim(tlr) == 0 else result
 
 
@@ -98,11 +93,13 @@ def area_increase_closed_form(tlr):
 
     ``%AI = 100 * ((1 + 0.18*T**3)**0.3 * (1 + 0.16*T**3)**0.24 - 1)``:
     the exact consequence of eqs. 14/15, since ``A_RC / A_RLC =
-    1 / (h' * k')``.  154% at ``T = 3``, 435% at ``T = 5``.
+    1 / (h' * k')``.  154% at ``T = 3``, 435% at ``T = 5``.  Accepts
+    arrays; the computation is
+    :func:`repro.sweep.kernels.batch_area_increase_percent`.
     """
-    t = _check_tlr(tlr)
-    h_prime, k_prime = error_factors(t)
-    result = 100.0 * (1.0 / (np.asarray(h_prime) * np.asarray(k_prime)) - 1.0)
+    from repro.sweep.kernels import batch_area_increase_percent
+
+    result = batch_area_increase_percent(tlr)
     return float(result) if np.ndim(tlr) == 0 else result
 
 

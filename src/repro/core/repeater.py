@@ -167,13 +167,12 @@ def error_factors(tlr) -> tuple:
     """``(h', k')`` -- the inductance derating factors (eqs. 14, 15).
 
     Both approach 1 as ``T_{L/R} -> 0`` (RC limit) and decay towards 0 as
-    inductance dominates.  Accepts scalars or arrays.
+    inductance dominates.  Accepts scalars or arrays; the computation is
+    :func:`repro.sweep.kernels.batch_error_factors`.
     """
-    t = np.asarray(tlr, dtype=float)
-    if np.any(t < 0) or not np.all(np.isfinite(t)):
-        raise ParameterError("T_{L/R} must be finite and >= 0")
-    h_prime = (1.0 + H_FACTOR_SCALE * t**3) ** (-H_FACTOR_POWER)
-    k_prime = (1.0 + K_FACTOR_SCALE * t**3) ** (-K_FACTOR_POWER)
+    from repro.sweep.kernels import batch_error_factors
+
+    h_prime, k_prime = batch_error_factors(tlr)
     if np.ndim(tlr) == 0:
         return float(h_prime), float(k_prime)
     return h_prime, k_prime

@@ -40,7 +40,18 @@ from repro.core.delay import propagation_delay
 from repro.errors import AnalysisError, ParameterError
 from repro.tline.waveform import Waveform
 
-__all__ = ["SimulatorRoute", "simulated_delay_50", "simulated_step_waveform"]
+__all__ = [
+    "SIMULATOR_VERSION",
+    "SimulatorRoute",
+    "simulated_delay_50",
+    "simulated_step_waveform",
+]
+
+#: Bumped whenever any simulation route's numerics change (integration
+#: scheme, windowing, de Hoog order policy, ...).  Part of every sweep
+#: cache key (:meth:`repro.sweep.grid.Sweep.cache_key`), so on-disk
+#: simulated results from older numerics are never replayed.
+SIMULATOR_VERSION = 1
 
 
 class SimulatorRoute(str, enum.Enum):

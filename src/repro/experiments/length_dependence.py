@@ -5,6 +5,10 @@ propagation delay on the length of an RC line approaches a linear
 dependence as inductance effects increase."  We sweep length on a
 realistic global wire at three inductance levels (none, nominal, high)
 and report the fitted log-log exponent in short/long-length windows.
+
+Each length sweep is a zipped-axis batch through the
+:mod:`repro.sweep` engine (see
+:func:`repro.analysis.length_dependence.delay_versus_length`).
 """
 
 from __future__ import annotations

@@ -4,7 +4,8 @@ The paper's closing claim: "the error between the RC and RLC models
 increases as the gate parasitic impedances decrease, which is consistent
 with technology scaling trends."  We walk the synthetic node table:
 ``R0*C0`` shrinks each generation, ``T_{L/R}`` of a fixed thick global
-wire rises, and with it the closed-form delay and area penalties.
+wire rises, and with it the closed-form delay and area penalties (both
+penalty columns evaluated in one :mod:`repro.sweep.kernels` batch).
 """
 
 from __future__ import annotations

@@ -20,12 +20,21 @@ def run(
     zeta_values=None,
     ratio_grid=(0.0, 0.5, 1.0),
     n_segments: int = 80,
+    max_workers: int | None = None,
 ) -> ExperimentTable:
-    """Tabulate simulated ``t'_pd`` spread across (RT, CT) at each zeta."""
+    """Tabulate simulated ``t'_pd`` spread across (RT, CT) at each zeta.
+
+    The underlying (zeta, RT, CT) grid runs through the
+    :mod:`repro.sweep` engine; ``max_workers`` sizes its simulator
+    worker pool (default: CPU count).
+    """
     if zeta_values is None:
         zeta_values = np.array([0.25, 0.5, 1.0, 1.5, 2.0])
     points = collapse_spread(
-        zeta_values, ratio_grid=ratio_grid, n_segments=n_segments
+        zeta_values,
+        ratio_grid=ratio_grid,
+        n_segments=n_segments,
+        max_workers=max_workers,
     )
     rows = tuple(
         (

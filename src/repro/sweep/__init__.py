@@ -1,0 +1,86 @@
+"""repro.sweep -- vectorized batch evaluation of the paper's models.
+
+The paper's headline artifacts are all parameter sweeps: eq. 9 delays
+over length grids (EXP-X1), error factors over ``T_{L/R}`` ranges
+(EXP-F4), penalties over technology nodes (EXP-X4), simulated scaled
+delays over (RT, CT) grids (EXP-X2).  This subsystem makes such design-
+space exploration cheap:
+
+- :mod:`repro.sweep.grid` -- the sweep *specification*: named
+  :class:`Axis` dimensions (explicit, linear, or log-spaced), cartesian
+  :class:`ParameterGrid` products with optional zipped axis groups, and
+  the :class:`Sweep` spec binding a grid to a quantity with fixed
+  parameters and simulator options;
+- :mod:`repro.sweep.kernels` -- NumPy batch kernels evaluating whole
+  grids without per-point ``DriverLineLoad`` objects.  They are the
+  single implementation of the closed forms: the scalar functions in
+  :mod:`repro.core` delegate to them;
+- :mod:`repro.sweep.runner` -- the :class:`SweepRunner` executor with a
+  keyed in-memory LRU plus on-disk JSON result cache and a
+  :mod:`concurrent.futures` worker pool for the expensive
+  simulator-backed quantity (``simulated_delay_50``);
+- :mod:`repro.sweep.cli` -- the ``python -m repro sweep`` subcommand
+  rendering any sweep as an experiment table.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.sweep import Axis, ParameterGrid, Sweep, SweepRunner
+>>> grid = ParameterGrid(Axis.log("rt", 100.0, 10000.0, 4),
+...                      Axis.log("lt", 1e-9, 1e-6, 3))
+>>> sweep = Sweep("propagation_delay", grid,
+...               fixed={"ct": 1e-12, "rtr": 100.0, "cl": 1e-13})
+>>> result = SweepRunner().run(sweep)
+>>> result.output().shape
+(12,)
+"""
+
+from repro.sweep.grid import Axis, ParameterGrid, Sweep
+from repro.sweep.kernels import (
+    batch_area_increase_percent,
+    batch_bakoglu_rc_design,
+    batch_delay_increase_percent,
+    batch_error_factors,
+    batch_inductance_time_ratio,
+    batch_lc_limit_delay,
+    batch_lt_for_zeta,
+    batch_omega_n,
+    batch_optimal_rlc_design,
+    batch_propagation_delay,
+    batch_rc_limit_delay,
+    batch_scaled_delay,
+    batch_time_of_flight,
+    batch_zeta,
+)
+from repro.sweep.runner import (
+    QUANTITIES,
+    Quantity,
+    RunnerStats,
+    SweepResult,
+    SweepRunner,
+)
+
+__all__ = [
+    "Axis",
+    "ParameterGrid",
+    "Sweep",
+    "SweepResult",
+    "SweepRunner",
+    "RunnerStats",
+    "Quantity",
+    "QUANTITIES",
+    "batch_omega_n",
+    "batch_zeta",
+    "batch_scaled_delay",
+    "batch_propagation_delay",
+    "batch_rc_limit_delay",
+    "batch_lc_limit_delay",
+    "batch_time_of_flight",
+    "batch_error_factors",
+    "batch_inductance_time_ratio",
+    "batch_bakoglu_rc_design",
+    "batch_optimal_rlc_design",
+    "batch_delay_increase_percent",
+    "batch_area_increase_percent",
+    "batch_lt_for_zeta",
+]

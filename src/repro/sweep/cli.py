@@ -1,0 +1,234 @@
+"""``python -m repro sweep`` -- run batch sweeps from the command line.
+
+Axis syntax (repeat ``--axis`` per dimension; declaration order is the
+grid order, first axis varies slowest)::
+
+    --axis rt=log:10:10000:25        25 log-spaced values
+    --axis ct=lin:1e-13:1e-12:5      5 linearly spaced values
+    --axis lt=1e-9,5e-9,1e-8         an explicit list
+    --axis node=250nm,180nm          a technology-node axis (strings)
+
+``--zip a,b`` fuses previously declared axes into one dimension that
+advances in lockstep (e.g. ``rt``/``lt``/``ct`` columns of a length
+sweep).  ``--fixed name=value`` supplies scalars shared by all points.
+
+Examples::
+
+    python -m repro sweep --list
+    python -m repro sweep propagation_delay \\
+        --axis rt=log:100:5000:7 --axis lt=log:1e-9:1e-6:5 \\
+        --fixed ct=1e-12 --fixed rtr=100 --fixed cl=1e-13 --max-rows 12
+    python -m repro sweep simulated_delay_50 \\
+        --axis zeta=0.5,1,2 --fixed r_ratio=0.1 --fixed c_ratio=0.1 \\
+        --route tline --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.sweep.grid import Axis, ParameterGrid, Sweep
+from repro.sweep.runner import QUANTITIES, SweepRunner
+
+__all__ = ["add_sweep_arguments", "run_sweep"]
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``sweep`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "quantity",
+        nargs="?",
+        help="batch quantity to evaluate (see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_quantities",
+        help="list the available quantities and exit",
+    )
+    parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC",
+        help="add an axis: name=log:start:stop:num | name=lin:start:stop:num"
+        " | name=v1,v2,...",
+    )
+    parser.add_argument(
+        "--zip",
+        action="append",
+        default=[],
+        dest="zips",
+        metavar="A,B[,C...]",
+        help="advance the named (previously declared) axes in lockstep",
+    )
+    parser.add_argument(
+        "--fixed",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fix a scalar parameter for every grid point",
+    )
+    parser.add_argument(
+        "--route",
+        help="simulator route for simulated quantities "
+        "(statespace | tline | mna)",
+    )
+    parser.add_argument(
+        "--n-segments", type=int, help="ladder segments (simulated routes)"
+    )
+    parser.add_argument(
+        "--n-samples", type=int, help="output samples across the window"
+    )
+    parser.add_argument(
+        "--window", type=float, help="simulated span multiplier"
+    )
+    parser.add_argument(
+        "--dt", type=float, help="time step for the MNA route (seconds)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        help="worker-pool size for simulated sweeps (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="directory for the on-disk result cache (default: no disk cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force re-evaluation even if a cached result exists",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=32,
+        help="cap printed rows (evenly subsampled); 0 prints all",
+    )
+
+
+def _parse_axis(text: str) -> Axis:
+    name, sep, spec = text.partition("=")
+    if not sep or not name or not spec:
+        raise ReproError(f"bad axis {text!r}; expected NAME=SPEC")
+    if spec.startswith(("log:", "lin:")):
+        kind, *parts = spec.split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"bad axis {text!r}; expected {kind}:start:stop:num"
+            )
+        try:
+            start, stop, num = float(parts[0]), float(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise ReproError(f"bad axis {text!r}: {exc}") from exc
+        maker = Axis.log if kind == "log" else Axis.linear
+        return maker(name, start, stop, num)
+    values: list = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            raise ReproError(f"bad axis {text!r}; empty value")
+        try:
+            values.append(float(token))
+        except ValueError:
+            values.append(token)
+    return Axis(name, values)
+
+
+def _parse_fixed(text: str):
+    name, sep, value = text.partition("=")
+    if not sep or not name or not value:
+        raise ReproError(f"bad fixed value {text!r}; expected NAME=VALUE")
+    try:
+        return name, float(value)
+    except ValueError:
+        return name, value
+
+
+def build_sweep(args: argparse.Namespace) -> Sweep:
+    """Translate parsed CLI arguments into a :class:`Sweep` spec."""
+    axes = [_parse_axis(text) for text in args.axis]
+    if not axes:
+        raise ReproError("at least one --axis is required")
+    by_name = {axis.name: axis for axis in axes}
+    if len(by_name) != len(axes):
+        raise ReproError("duplicate axis names")
+
+    zipped: dict[str, int] = {}
+    groups: list[list[Axis]] = []
+    for zip_spec in args.zips:
+        members = [token.strip() for token in zip_spec.split(",")]
+        unknown = [m for m in members if m not in by_name]
+        if len(members) < 2 or unknown:
+            raise ReproError(
+                f"bad --zip {zip_spec!r}; name >= 2 declared axes"
+            )
+        if any(m in zipped for m in members):
+            raise ReproError(f"axis in more than one --zip: {zip_spec!r}")
+        group_index = len(groups)
+        groups.append([by_name[m] for m in members])
+        zipped.update({m: group_index for m in members})
+
+    components: list = []
+    seen_groups: set[int] = set()
+    for axis in axes:
+        if axis.name in zipped:
+            index = zipped[axis.name]
+            if index not in seen_groups:
+                seen_groups.add(index)
+                components.append(tuple(groups[index]))
+        else:
+            components.append(axis)
+
+    fixed = dict(_parse_fixed(text) for text in args.fixed)
+    options = {}
+    if args.route is not None:
+        options["route"] = args.route
+    if args.n_segments is not None:
+        options["n_segments"] = args.n_segments
+    if args.n_samples is not None:
+        options["n_samples"] = args.n_samples
+    if args.window is not None:
+        options["window"] = args.window
+    if args.dt is not None:
+        options["dt"] = args.dt
+    return Sweep(args.quantity, ParameterGrid(*components), fixed, options)
+
+
+def _list_quantities() -> int:
+    width = max(len(name) for name in QUANTITIES)
+    for name in sorted(QUANTITIES):
+        quantity = QUANTITIES[name]
+        kind = "simulator" if quantity.simulated else "kernel"
+        inputs = ", ".join(quantity.inputs)
+        outputs = ", ".join(quantity.outputs)
+        print(f"{name:<{width}}  [{kind}]  ({inputs}) -> ({outputs})")
+    return 0
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    """Entry point for the ``sweep`` subcommand; returns an exit code."""
+    from repro.experiments.common import render_table
+
+    if args.list_quantities:
+        return _list_quantities()
+    if not args.quantity:
+        print("a quantity is required (see --list)", file=sys.stderr)
+        return 2
+    try:
+        sweep = build_sweep(args)
+        runner = SweepRunner(
+            cache_dir=args.cache_dir, max_workers=args.workers
+        )
+        result = runner.run(sweep, refresh=args.no_cache)
+        table = result.to_table(
+            max_rows=args.max_rows if args.max_rows > 0 else None
+        )
+    except ReproError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    print(render_table(table))
+    return 0

@@ -1,0 +1,337 @@
+"""Sweep specifications: axes, cartesian/zipped grids, and sweep specs.
+
+A :class:`ParameterGrid` is built from :class:`Axis` components.  Each
+component contributes one cartesian dimension; passing a *tuple* of axes
+as a single component zips them (they advance together, like the
+``(rt, lt, ct)`` columns of a length sweep where all three scale with
+the same wire length).  A :class:`Sweep` binds a grid to a named batch
+quantity plus fixed parameters and simulator options, and hashes the
+whole specification into a deterministic cache key.
+
+>>> grid = ParameterGrid(Axis.log("rt", 10.0, 1000.0, 3),
+...                      Axis("lt", [1e-9, 1e-8]))
+>>> grid.size, grid.names
+(6, ('rt', 'lt'))
+>>> zipped = ParameterGrid((Axis("rt", [1.0, 2.0]), Axis("ct", [3.0, 4.0])))
+>>> zipped.size
+2
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["Axis", "ParameterGrid", "Sweep"]
+
+
+@dataclass(frozen=True, init=False)
+class Axis:
+    """One named sweep dimension: a parameter and its sample values.
+
+    Values are coerced to floats when numeric; non-numeric values (e.g.
+    technology node names for a ``node`` axis) are kept as strings.
+    """
+
+    name: str
+    values: tuple
+
+    def __init__(self, name: str, values) -> None:
+        if not isinstance(name, str) or not name:
+            raise ParameterError(f"axis name must be a non-empty string, got {name!r}")
+        # Inspect elements before any numpy coercion: np.asarray on a
+        # mixed list would silently stringify the numeric entries.
+        if isinstance(values, np.ndarray):
+            values = values.ravel().tolist()
+        try:
+            seq = [
+                v.item() if isinstance(v, np.generic) else v for v in values
+            ]
+        except TypeError:
+            raise ParameterError(
+                f"axis {name!r} values must be a sequence, got {values!r}"
+            ) from None
+        if not seq:
+            raise ParameterError(f"axis {name!r} needs at least one value")
+        if any(isinstance(v, bool) for v in seq):
+            raise ParameterError(
+                f"axis {name!r} values must be numbers or names, not booleans"
+            )
+        numeric = [isinstance(v, (int, float)) for v in seq]
+        if all(numeric):
+            coerced = tuple(float(v) for v in seq)
+            if not all(np.isfinite(coerced)):
+                raise ParameterError(f"axis {name!r} values must be finite")
+        elif any(numeric):
+            # A single typo'd number must not silently turn the whole
+            # axis into strings.
+            bad = [v for v, ok in zip(seq, numeric) if not ok]
+            raise ParameterError(
+                f"axis {name!r} mixes numeric and non-numeric values "
+                f"({bad[:3]!r}); use all numbers or all names"
+            )
+        else:
+            coerced = tuple(str(v) for v in seq)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", coerced)
+
+    @classmethod
+    def linear(cls, name: str, start: float, stop: float, num: int) -> "Axis":
+        """``num`` linearly spaced values from ``start`` to ``stop``."""
+        if num < 1:
+            raise ParameterError(f"axis {name!r} needs num >= 1, got {num}")
+        return cls(name, np.linspace(start, stop, num))
+
+    @classmethod
+    def log(cls, name: str, start: float, stop: float, num: int) -> "Axis":
+        """``num`` log-spaced values from ``start`` to ``stop`` (both > 0)."""
+        if num < 1:
+            raise ParameterError(f"axis {name!r} needs num >= 1, got {num}")
+        if start <= 0 or stop <= 0:
+            raise ParameterError(
+                f"axis {name!r} log range needs positive bounds, "
+                f"got {start!r}..{stop!r}"
+            )
+        return cls(name, np.geomspace(start, stop, num))
+
+    @property
+    def is_numeric(self) -> bool:
+        return not self.values or isinstance(self.values[0], float)
+
+    def spec(self) -> dict:
+        """JSON-serializable description (feeds the sweep cache key)."""
+        return {"name": self.name, "values": list(self.values)}
+
+
+class ParameterGrid:
+    """Cartesian product of axes and zipped axis groups.
+
+    Parameters
+    ----------
+    components:
+        Each either a single :class:`Axis` (one cartesian dimension) or
+        a sequence of axes of equal length that advance together (one
+        *zipped* dimension).
+
+    The expanded point order is C order ("ij" indexing): the first
+    component varies slowest, the last fastest.  Consumers that reshape
+    flat result columns back to ``grid.shape`` rely on this guarantee.
+    """
+
+    def __init__(self, *components) -> None:
+        if not components:
+            raise ParameterError("ParameterGrid needs at least one axis")
+        groups: list[tuple[Axis, ...]] = []
+        for component in components:
+            if isinstance(component, Axis):
+                group = (component,)
+            else:
+                group = tuple(component)
+                if not group or not all(isinstance(a, Axis) for a in group):
+                    raise ParameterError(
+                        "grid components must be Axis instances or "
+                        f"sequences of them, got {component!r}"
+                    )
+                lengths = {len(a.values) for a in group}
+                if len(lengths) > 1:
+                    names = ", ".join(a.name for a in group)
+                    raise ParameterError(
+                        f"zipped axes ({names}) must have equal lengths, "
+                        f"got {sorted(lengths)}"
+                    )
+            groups.append(group)
+        self._groups = tuple(groups)
+        names = [a.name for g in self._groups for a in g]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate axis names in grid: {names}")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def groups(self) -> tuple[tuple[Axis, ...], ...]:
+        return self._groups
+
+    @property
+    def axes(self) -> tuple[Axis, ...]:
+        return tuple(a for g in self._groups for a in g)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.axes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(len(g[0].values) for g in self._groups)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    # -- expansion ---------------------------------------------------------
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Expand to flat per-axis columns of length :attr:`size`.
+
+        Numeric axes yield float arrays, string axes string arrays; all
+        columns share the C point order documented on the class.
+        """
+        index_grids = np.meshgrid(
+            *[np.arange(n) for n in self.shape], indexing="ij"
+        )
+        flat_indices = [g.ravel() for g in index_grids]
+        columns: dict[str, np.ndarray] = {}
+        for group, indices in zip(self._groups, flat_indices):
+            for axis in group:
+                columns[axis.name] = np.asarray(axis.values)[indices]
+        return columns
+
+    def points(self) -> Iterator[dict]:
+        """Iterate the grid as per-point ``{name: value}`` dicts."""
+        columns = self.columns()
+        for i in range(self.size):
+            yield {
+                name: col[i].item() if col[i].shape == () else col[i]
+                for name, col in columns.items()
+            }
+
+    # -- identity ----------------------------------------------------------
+
+    def spec(self) -> list:
+        """Canonical JSON-serializable description of the grid."""
+        return [[axis.spec() for axis in group] for group in self._groups]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ParameterGrid) and self._groups == other._groups
+
+    def __hash__(self) -> int:
+        return hash(self._groups)
+
+    def __repr__(self) -> str:
+        parts = []
+        for group in self._groups:
+            inner = " x ".join(f"{a.name}[{len(a.values)}]" for a in group)
+            parts.append(f"zip({inner})" if len(group) > 1 else inner)
+        return f"ParameterGrid({' x '.join(parts)}, size={self.size})"
+
+
+@dataclass(frozen=True, init=False)
+class Sweep:
+    """A batch evaluation request: quantity, grid, fixed values, options.
+
+    Parameters
+    ----------
+    quantity:
+        Name of a registered batch quantity (see
+        :data:`repro.sweep.runner.QUANTITIES`).
+    grid:
+        The :class:`ParameterGrid` to expand.
+    fixed:
+        Scalar parameters shared by every grid point (e.g. ``ct``,
+        ``rtr``) -- anything the quantity needs that is not an axis.
+    options:
+        Evaluator settings that do not name circuit parameters; for the
+        simulator-backed quantities these are the
+        :func:`repro.core.simulate.simulated_delay_50` keywords
+        (``route``, ``n_segments``, ``n_samples``, ``window``, ``dt``).
+    """
+
+    quantity: str
+    grid: ParameterGrid
+    fixed: tuple
+    options: tuple
+
+    def __init__(
+        self,
+        quantity: str,
+        grid: ParameterGrid,
+        fixed: Mapping | None = None,
+        options: Mapping | None = None,
+    ) -> None:
+        if not isinstance(quantity, str) or not quantity:
+            raise ParameterError(
+                f"quantity must be a non-empty string, got {quantity!r}"
+            )
+        if not isinstance(grid, ParameterGrid):
+            raise ParameterError(f"grid must be a ParameterGrid, got {grid!r}")
+        object.__setattr__(self, "quantity", quantity)
+        object.__setattr__(self, "grid", grid)
+        object.__setattr__(
+            self, "fixed", self._frozen_items("fixed", fixed, coerce_ints=True)
+        )
+        # Options keep their exact types: simulator keywords like
+        # ``n_segments`` must stay integers.
+        object.__setattr__(
+            self, "options", self._frozen_items("options", options, coerce_ints=False)
+        )
+        overlap = set(dict(self.fixed)) & set(grid.names)
+        if overlap:
+            raise ParameterError(
+                f"parameters {sorted(overlap)} are both axes and fixed values"
+            )
+
+    @staticmethod
+    def _frozen_items(
+        label: str, mapping: Mapping | None, coerce_ints: bool
+    ) -> tuple:
+        if mapping is None:
+            return ()
+        items = []
+        for key in sorted(mapping):
+            value = mapping[key]
+            if isinstance(value, np.generic):
+                value = value.item()
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, str)
+            ):
+                raise ParameterError(
+                    f"{label}[{key!r}] must be a number or string, got {value!r}"
+                )
+            if coerce_ints and isinstance(value, int):
+                value = float(value)
+            items.append((str(key), value))
+        return tuple(items)
+
+    @property
+    def fixed_values(self) -> dict:
+        return dict(self.fixed)
+
+    @property
+    def option_values(self) -> dict:
+        return dict(self.options)
+
+    def spec(self) -> dict:
+        """Canonical JSON-serializable description of the whole sweep."""
+        return {
+            "quantity": self.quantity,
+            "grid": self.grid.spec(),
+            "fixed": list(list(item) for item in self.fixed),
+            "options": list(list(item) for item in self.options),
+        }
+
+    def cache_key(self) -> str:
+        """Deterministic key over the spec plus the evaluator versions.
+
+        Any change to the quantity, axes, fixed values, options, the
+        kernel numerics (:data:`repro.sweep.kernels.KERNEL_VERSION`) or
+        the simulator numerics
+        (:data:`repro.core.simulate.SIMULATOR_VERSION`) yields a
+        different key, invalidating prior cached results.
+        """
+        from repro.core.simulate import SIMULATOR_VERSION
+        from repro.sweep.kernels import KERNEL_VERSION
+
+        payload = json.dumps(
+            {
+                "kernel_version": KERNEL_VERSION,
+                "simulator_version": SIMULATOR_VERSION,
+                "spec": self.spec(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,342 @@
+"""NumPy-vectorized batch kernels for the paper's closed forms.
+
+Every driver in :mod:`repro.analysis` and :mod:`repro.experiments` is a
+*parameter sweep* -- eq. 9 delays over a length grid, error factors over
+a ``T_{L/R}`` range, penalties over a node table.  Evaluating those one
+:class:`~repro.core.canonical.DriverLineLoad` at a time costs a Python
+object construction plus ~15 scalar math calls per point; these kernels
+evaluate whole grids in a handful of NumPy array operations instead
+(>=10x on 10k-point grids, see ``benchmarks/test_bench_sweep.py``).
+
+The kernels are the *single implementation* of the closed forms: the
+scalar entry points (:func:`repro.core.delay.propagation_delay`,
+:func:`repro.core.penalty.delay_increase_closed_form`, ...) delegate to
+them on 0-d inputs, so the scalar path and the batch path cannot drift
+apart.  The fitted constants stay defined next to the equations they
+belong to (:mod:`repro.core.delay`, :mod:`repro.core.repeater`) and are
+imported here; those modules import this one lazily inside functions,
+which keeps the import graph acyclic.
+
+All kernels accept scalars or broadcastable arrays of SI values and
+return :class:`numpy.ndarray` (or a plain ``float`` on the all-scalar
+fast path).  The hot kernels keep a scalar branch next to the array
+branch: plain ``math`` for the algebra (bitwise-identical to the array
+ufuncs, which are correctly rounded) and NumPy scalar ufuncs for the
+transcendentals, so per-point callers such as the repeater optimizer
+do not pay array-machinery overhead (~100x on 0-d inputs) while both
+branches stay side by side in one function.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.delay import (
+    FIT_EXPONENT_COEFFICIENT,
+    FIT_EXPONENT_POWER,
+    FIT_LINEAR_COEFFICIENT,
+)
+from repro.core.repeater import (
+    H_FACTOR_POWER,
+    H_FACTOR_SCALE,
+    K_FACTOR_POWER,
+    K_FACTOR_SCALE,
+)
+from repro.errors import ParameterError
+
+__all__ = [
+    "KERNEL_VERSION",
+    "batch_omega_n",
+    "batch_zeta",
+    "batch_scaled_delay",
+    "batch_propagation_delay",
+    "batch_rc_limit_delay",
+    "batch_lc_limit_delay",
+    "batch_time_of_flight",
+    "batch_error_factors",
+    "batch_inductance_time_ratio",
+    "batch_bakoglu_rc_design",
+    "batch_optimal_rlc_design",
+    "batch_delay_increase_percent",
+    "batch_area_increase_percent",
+    "batch_lt_for_zeta",
+]
+
+#: Bumped whenever a kernel's numerics change; part of every sweep cache
+#: key so stale on-disk results can never be replayed against new code.
+KERNEL_VERSION = 1
+
+
+def _validated(name: str, values, *, positive: bool = False) -> np.ndarray:
+    """Coerce to a float array and enforce the parameter domain."""
+    arr = np.asarray(values, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ParameterError(f"{name} must be finite")
+    if positive:
+        if np.any(arr <= 0):
+            raise ParameterError(f"{name} must be > 0")
+    elif np.any(arr < 0):
+        raise ParameterError(f"{name} must be >= 0")
+    return arr
+
+
+def _all_scalar(*values) -> bool:
+    """True when every argument is a plain Python/NumPy scalar number."""
+    return all(isinstance(v, (int, float)) for v in values)
+
+
+def _checked_scalar(name: str, value, *, positive: bool = False) -> float:
+    """Scalar twin of :func:`_validated` (same domains, same messages)."""
+    v = float(value)
+    if not math.isfinite(v):
+        raise ParameterError(f"{name} must be finite")
+    if positive:
+        if v <= 0:
+            raise ParameterError(f"{name} must be > 0")
+    elif v < 0:
+        raise ParameterError(f"{name} must be >= 0")
+    return v
+
+
+def batch_omega_n(lt, ct, cl=0.0):
+    """Natural angular frequency ``1 / sqrt(Lt * (Ct + CL))`` (eq. 3)."""
+    if _all_scalar(lt, ct, cl):
+        lt = _checked_scalar("lt", lt, positive=True)
+        ct = _checked_scalar("ct", ct, positive=True)
+        cl = _checked_scalar("cl", cl)
+        return 1.0 / math.sqrt(lt * (ct + cl))
+    lt = _validated("lt", lt, positive=True)
+    ct = _validated("ct", ct, positive=True)
+    cl = _validated("cl", cl)
+    return 1.0 / np.sqrt(lt * (ct + cl))
+
+
+def batch_zeta(rt, lt, ct, rtr=0.0, cl=0.0):
+    """Damping factor of the driver/line/load system (eq. 6).
+
+    This is the implementation behind the scalar
+    :func:`repro.core.canonical.zeta`.  The ``rt == 0`` limit is
+    well-defined: ``RT = Rtr/Rt`` diverges but ``Rt * RT = Rtr`` stays
+    finite, leaving the ``bare`` expression below.
+    """
+    if _all_scalar(rt, lt, ct, rtr, cl):
+        rt = _checked_scalar("rt", rt)
+        lt = _checked_scalar("lt", lt, positive=True)
+        ct = _checked_scalar("ct", ct, positive=True)
+        rtr = _checked_scalar("rtr", rtr)
+        cl = _checked_scalar("cl", cl)
+        if rt == 0 and rtr == 0:
+            return 0.0
+        c_ratio = cl / ct
+        root = math.sqrt(1.0 + c_ratio)
+        if rt > 0:
+            r_ratio = rtr / rt
+            return (
+                0.5
+                * rt
+                * math.sqrt(ct / lt)
+                * (r_ratio + c_ratio + r_ratio * c_ratio + 0.5)
+                / root
+            )
+        return 0.5 * math.sqrt(ct / lt) * (rtr + rtr * c_ratio) / root
+    rt = _validated("rt", rt)
+    lt = _validated("lt", lt, positive=True)
+    ct = _validated("ct", ct, positive=True)
+    rtr = _validated("rtr", rtr)
+    cl = _validated("cl", cl)
+    rt, lt, ct, rtr, cl = np.broadcast_arrays(rt, lt, ct, rtr, cl)
+
+    c_ratio = cl / ct
+    root = np.sqrt(1.0 + c_ratio)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r_ratio = np.where(rt > 0, rtr / np.where(rt > 0, rt, 1.0), 0.0)
+    driven = (
+        0.5
+        * rt
+        * np.sqrt(ct / lt)
+        * (r_ratio + c_ratio + r_ratio * c_ratio + 0.5)
+        / root
+    )
+    bare = 0.5 * np.sqrt(ct / lt) * (rtr + rtr * c_ratio) / root
+    return np.where(rt > 0, driven, np.where(rtr > 0, bare, 0.0))
+
+
+def batch_scaled_delay(zeta):
+    """Dimensionless 50% delay ``t'_pd(zeta)`` (eq. 9).
+
+    The scalar branch uses the NumPy *scalar* ufuncs for ``exp`` and
+    ``**`` so it tracks the array branch to the last few ULP.
+    """
+    if isinstance(zeta, (int, float)):
+        z = float(zeta)
+        if z < 0 or not math.isfinite(z):
+            raise ParameterError("zeta must be finite and >= 0")
+        return float(
+            np.exp(-FIT_EXPONENT_COEFFICIENT * np.float64(z) ** FIT_EXPONENT_POWER)
+            + FIT_LINEAR_COEFFICIENT * z
+        )
+    z = np.asarray(zeta, dtype=float)
+    if np.any(z < 0) or not np.all(np.isfinite(z)):
+        raise ParameterError("zeta must be finite and >= 0")
+    return (
+        np.exp(-FIT_EXPONENT_COEFFICIENT * z**FIT_EXPONENT_POWER)
+        + FIT_LINEAR_COEFFICIENT * z
+    )
+
+
+def batch_propagation_delay(rt, lt, ct, rtr=0.0, cl=0.0):
+    """50% propagation delay of the Fig. 1 circuit (eq. 9), seconds."""
+    return batch_scaled_delay(batch_zeta(rt, lt, ct, rtr, cl)) / batch_omega_n(
+        lt, ct, cl
+    )
+
+
+def batch_rc_limit_delay(rt, ct, rtr=0.0, cl=0.0):
+    """The ``Lt -> 0`` limit of eq. 9 (pure distributed-RC delay)."""
+    if _all_scalar(rt, ct, rtr, cl):
+        rt = _checked_scalar("rt", rt)
+        ct = _checked_scalar("ct", ct, positive=True)
+        rtr = _checked_scalar("rtr", rtr)
+        cl = _checked_scalar("cl", cl)
+        if rt == 0 and rtr > 0:
+            raise ParameterError("rc_limit_delay requires rt > 0")
+        c_ratio = cl / ct
+        r_ratio = rtr / rt if rt > 0 else 0.0
+        group = r_ratio + c_ratio + r_ratio * c_ratio + 0.5
+        return 0.5 * FIT_LINEAR_COEFFICIENT * rt * ct * group
+    rt = _validated("rt", rt)
+    ct = _validated("ct", ct, positive=True)
+    rtr = _validated("rtr", rtr)
+    cl = _validated("cl", cl)
+    rt, ct, rtr, cl = np.broadcast_arrays(rt, ct, rtr, cl)
+    if np.any((rt == 0) & (rtr > 0)):
+        raise ParameterError("rc_limit_delay requires rt > 0")
+    c_ratio = cl / ct
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r_ratio = np.where(rt > 0, rtr / np.where(rt > 0, rt, 1.0), 0.0)
+    group = r_ratio + c_ratio + r_ratio * c_ratio + 0.5
+    return 0.5 * FIT_LINEAR_COEFFICIENT * rt * ct * group
+
+
+def batch_lc_limit_delay(lt, ct, cl=0.0):
+    """The ``Rt, Rtr -> 0`` limit of eq. 9: ``sqrt(Lt * (Ct + CL))``."""
+    return 1.0 / batch_omega_n(lt, ct, cl)
+
+
+def batch_time_of_flight(lt, ct):
+    """Wavefront arrival time ``sqrt(Lt * Ct)`` of a lossless line."""
+    if _all_scalar(lt, ct):
+        lt = _checked_scalar("lt", lt)
+        ct = _checked_scalar("ct", ct)
+        return math.sqrt(lt * ct)
+    lt = _validated("lt", lt)
+    ct = _validated("ct", ct)
+    return np.sqrt(lt * ct)
+
+
+def batch_error_factors(tlr) -> tuple:
+    """``(h', k')`` -- the inductance derating factors (eqs. 14, 15)."""
+    if isinstance(tlr, (int, float)):
+        t = float(tlr)
+        if t < 0 or not math.isfinite(t):
+            raise ParameterError("T_{L/R} must be finite and >= 0")
+        cubed = np.float64(t) ** 3
+        return (
+            float((1.0 + H_FACTOR_SCALE * cubed) ** np.float64(-H_FACTOR_POWER)),
+            float((1.0 + K_FACTOR_SCALE * cubed) ** np.float64(-K_FACTOR_POWER)),
+        )
+    t = np.asarray(tlr, dtype=float)
+    if np.any(t < 0) or not np.all(np.isfinite(t)):
+        raise ParameterError("T_{L/R} must be finite and >= 0")
+    h_prime = (1.0 + H_FACTOR_SCALE * t**3) ** (-H_FACTOR_POWER)
+    k_prime = (1.0 + K_FACTOR_SCALE * t**3) ** (-K_FACTOR_POWER)
+    return h_prime, k_prime
+
+
+def batch_inductance_time_ratio(rt, lt, r0, c0) -> np.ndarray:
+    """``T_{L/R} = (Lt/Rt) / (R0*C0)`` (eq. 13)."""
+    rt = _validated("rt", rt)
+    lt = _validated("lt", lt)
+    r0 = _validated("r0", r0, positive=True)
+    c0 = _validated("c0", c0, positive=True)
+    if np.any(np.broadcast_arrays(rt, lt)[0] <= 0):
+        raise ParameterError("inductance_time_ratio requires rt > 0")
+    return (lt / rt) / (r0 * c0)
+
+
+def batch_bakoglu_rc_design(rt, ct, r0, c0) -> tuple[np.ndarray, np.ndarray]:
+    """Bakoglu's RC-optimal ``(h, k)`` repeater insertion (eq. 11)."""
+    rt = _validated("rt", rt)
+    ct = _validated("ct", ct, positive=True)
+    r0 = _validated("r0", r0, positive=True)
+    c0 = _validated("c0", c0, positive=True)
+    if np.any(np.broadcast_arrays(rt, ct)[0] <= 0):
+        raise ParameterError("bakoglu_rc_design requires rt > 0")
+    h = np.sqrt((r0 * ct) / (rt * c0))
+    k = np.sqrt((rt * ct) / (2.0 * r0 * c0))
+    return h, k
+
+
+def batch_optimal_rlc_design(rt, lt, ct, r0, c0) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's closed-form RLC repeater optimum (eqs. 14, 15)."""
+    h_rc, k_rc = batch_bakoglu_rc_design(rt, ct, r0, c0)
+    h_prime, k_prime = batch_error_factors(
+        batch_inductance_time_ratio(rt, lt, r0, c0)
+    )
+    return h_rc * h_prime, k_rc * k_prime
+
+
+def batch_delay_increase_percent(tlr):
+    """Percent total-delay increase from RC-based insertion (eq. 17)."""
+    if isinstance(tlr, (int, float)):
+        t = float(tlr)
+        if t < 0 or not math.isfinite(t):
+            raise ParameterError("T_{L/R} must be finite and >= 0")
+        return float(
+            30.0
+            * t
+            / (
+                0.5
+                + t
+                + 23.0 * np.exp(np.float64(-0.48 * t))
+                + 10.0 * np.exp(np.float64(-4.0 * t))
+            )
+        )
+    t = np.asarray(tlr, dtype=float)
+    if np.any(t < 0) or not np.all(np.isfinite(t)):
+        raise ParameterError("T_{L/R} must be finite and >= 0")
+    return (
+        30.0
+        * t
+        / (0.5 + t + 23.0 * np.exp(-0.48 * t) + 10.0 * np.exp(-4.0 * t))
+    )
+
+
+def batch_area_increase_percent(tlr):
+    """Percent repeater-area increase from RC-based insertion (eq. 18)."""
+    h_prime, k_prime = batch_error_factors(tlr)
+    return 100.0 * (1.0 / (h_prime * k_prime) - 1.0)
+
+
+def batch_lt_for_zeta(zeta, r_ratio=0.0, c_ratio=0.0, rt=1.0, ct=1.0) -> np.ndarray:
+    """Solve eq. 6 for the ``Lt`` that yields a prescribed ``zeta``.
+
+    The vectorized counterpart of
+    :meth:`repro.core.canonical.DriverLineLoad.for_zeta`: fixes ``Rt``,
+    ``Ct`` and the dimensionless ratios and returns the matching total
+    inductance.  Used to sweep ``zeta`` at constant (RT, CT) -- the axes
+    of the paper's Fig. 2.
+    """
+    z = _validated("zeta_target", zeta)
+    if np.any(z <= 0):
+        raise ParameterError("zeta_target must be > 0")
+    r_ratio = _validated("r_ratio", r_ratio)
+    c_ratio = _validated("c_ratio", c_ratio)
+    rt = _validated("rt", rt, positive=True)
+    ct = _validated("ct", ct, positive=True)
+    group = (r_ratio + c_ratio + r_ratio * c_ratio + 0.5) / np.sqrt(
+        1.0 + c_ratio
+    )
+    return (rt * rt * ct) * group * group / (4.0 * z * z)

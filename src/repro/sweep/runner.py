@@ -1,0 +1,698 @@
+"""Sweep execution: quantity registry, caching, and parallel fan-out.
+
+:class:`SweepRunner` evaluates a :class:`~repro.sweep.grid.Sweep` and
+memoizes the result twice over:
+
+- an in-memory LRU keyed by the sweep's :meth:`cache_key`, and
+- an optional on-disk JSON store (one file per key under ``cache_dir``)
+  that survives across processes.
+
+Closed-form quantities run as single NumPy kernel calls over the whole
+grid; the simulator-backed quantity (``simulated_delay_50``) is
+inherently per-point and fans out over a :mod:`concurrent.futures`
+worker pool instead.  Cache keys include the kernel version, so stale
+results are invalidated automatically whenever the numerics change.
+
+Grids may name circuit parameters directly (``rt``/``lt``/``ct``/
+``rtr``/``cl``, buffer ``r0``/``c0``, ``tlr``) or describe them
+indirectly; the resolver derives what the quantity needs:
+
+- ``node`` (+ ``length``, optional ``layer``): per-unit-length wire
+  parasitics of a predefined technology node scaled by wire length,
+  plus the node's buffer ``r0``/``c0``;
+- ``zeta`` (+ optional ``r_ratio``/``c_ratio``): the Fig. 2
+  construction -- ``Lt`` solved from eq. 6 at fixed ``Rt``, ``Ct``;
+- ``tlr`` from ``(rt, lt, r0, c0)`` when absent.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import pathlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.sweep import kernels
+from repro.sweep.grid import ParameterGrid, Sweep
+
+__all__ = [
+    "Quantity",
+    "QUANTITIES",
+    "RunnerStats",
+    "SweepResult",
+    "SweepRunner",
+]
+
+#: On-disk cache schema version (bumped on format changes).
+CACHE_SCHEMA_VERSION = 1
+
+_SIMULATOR_OPTIONS = ("route", "n_segments", "n_samples", "window", "dt")
+
+
+def _frozen_column(values, size: int) -> np.ndarray:
+    """A length-``size`` read-only copy of a (broadcastable) column.
+
+    Results are shared between the caches and every caller, so all
+    result arrays are uniformly immutable; callers copy before editing.
+    """
+    arr = np.array(np.broadcast_to(np.asarray(values), (size,)))
+    arr.flags.writeable = False
+    return arr
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """A batch-evaluable quantity: inputs, outputs, and the kernel."""
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    fn: Callable[..., tuple] | None
+    defaults: tuple = ()
+    simulated: bool = False
+
+    @property
+    def default_values(self) -> dict:
+        return dict(self.defaults)
+
+
+def _line_quantity(name, outputs, fn):
+    return Quantity(
+        name=name,
+        inputs=("rt", "lt", "ct", "rtr", "cl"),
+        outputs=outputs,
+        fn=fn,
+        defaults=(("rtr", 0.0), ("cl", 0.0)),
+    )
+
+
+QUANTITIES: dict[str, Quantity] = {
+    q.name: q
+    for q in (
+        _line_quantity(
+            "zeta",
+            ("zeta",),
+            lambda v: (kernels.batch_zeta(v["rt"], v["lt"], v["ct"], v["rtr"], v["cl"]),),
+        ),
+        Quantity(
+            "omega_n",
+            inputs=("lt", "ct", "cl"),
+            outputs=("omega_n",),
+            fn=lambda v: (kernels.batch_omega_n(v["lt"], v["ct"], v["cl"]),),
+            defaults=(("cl", 0.0),),
+        ),
+        _line_quantity(
+            "propagation_delay",
+            ("delay_s",),
+            lambda v: (
+                kernels.batch_propagation_delay(
+                    v["rt"], v["lt"], v["ct"], v["rtr"], v["cl"]
+                ),
+            ),
+        ),
+        Quantity(
+            "rc_limit_delay",
+            inputs=("rt", "ct", "rtr", "cl"),
+            outputs=("delay_s",),
+            fn=lambda v: (
+                kernels.batch_rc_limit_delay(v["rt"], v["ct"], v["rtr"], v["cl"]),
+            ),
+            defaults=(("rtr", 0.0), ("cl", 0.0)),
+        ),
+        Quantity(
+            "lc_limit_delay",
+            inputs=("lt", "ct", "cl"),
+            outputs=("delay_s",),
+            fn=lambda v: (kernels.batch_lc_limit_delay(v["lt"], v["ct"], v["cl"]),),
+            defaults=(("cl", 0.0),),
+        ),
+        Quantity(
+            "time_of_flight",
+            inputs=("lt", "ct"),
+            outputs=("delay_s",),
+            fn=lambda v: (kernels.batch_time_of_flight(v["lt"], v["ct"]),),
+        ),
+        Quantity(
+            "error_factors",
+            inputs=("tlr",),
+            outputs=("h_factor", "k_factor"),
+            fn=lambda v: kernels.batch_error_factors(v["tlr"]),
+        ),
+        Quantity(
+            "bakoglu_rc_design",
+            inputs=("rt", "ct", "r0", "c0"),
+            outputs=("h", "k"),
+            fn=lambda v: kernels.batch_bakoglu_rc_design(
+                v["rt"], v["ct"], v["r0"], v["c0"]
+            ),
+        ),
+        Quantity(
+            "optimal_rlc_design",
+            inputs=("rt", "lt", "ct", "r0", "c0"),
+            outputs=("h", "k"),
+            fn=lambda v: kernels.batch_optimal_rlc_design(
+                v["rt"], v["lt"], v["ct"], v["r0"], v["c0"]
+            ),
+        ),
+        Quantity(
+            "delay_increase_percent",
+            inputs=("tlr",),
+            outputs=("delay_increase_percent",),
+            fn=lambda v: (kernels.batch_delay_increase_percent(v["tlr"]),),
+        ),
+        Quantity(
+            "area_increase_percent",
+            inputs=("tlr",),
+            outputs=("area_increase_percent",),
+            fn=lambda v: (kernels.batch_area_increase_percent(v["tlr"]),),
+        ),
+        Quantity(
+            "simulated_delay_50",
+            inputs=("rt", "lt", "ct", "rtr", "cl"),
+            outputs=("delay_s",),
+            fn=None,
+            defaults=(("rtr", 0.0), ("cl", 0.0)),
+            simulated=True,
+        ),
+    )
+}
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative evaluation and cache counters of one runner."""
+
+    kernel_evaluations: int = 0
+    simulator_evaluations: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class SweepResult:
+    """The evaluated sweep: expanded inputs, outputs, provenance.
+
+    Attributes
+    ----------
+    sweep:
+        The specification that produced this result.
+    columns:
+        Resolved per-point input columns (grid axes plus derived
+        circuit parameters), each of length ``sweep.grid.size`` in the
+        grid's C point order.
+    outputs:
+        One array per quantity output, same length and order.  Both
+        ``columns`` and ``outputs`` arrays are read-only (they are
+        shared with the runner's caches); ``.copy()`` before mutating.
+    cache_hit:
+        ``None`` for a fresh evaluation, ``"memory"`` or ``"disk"``.
+    elapsed_s:
+        Wall-clock evaluation time of the *original* computation.
+    """
+
+    sweep: Sweep
+    columns: dict[str, np.ndarray]
+    outputs: dict[str, np.ndarray]
+    cache_hit: str | None
+    elapsed_s: float
+
+    @property
+    def size(self) -> int:
+        return self.sweep.grid.size
+
+    def output(self, name: str | None = None) -> np.ndarray:
+        """One output column; the sole output when ``name`` is omitted."""
+        if name is None:
+            if len(self.outputs) != 1:
+                raise ParameterError(
+                    f"result has outputs {sorted(self.outputs)}; name one"
+                )
+            return next(iter(self.outputs.values()))
+        return self.outputs[name]
+
+    def to_table(
+        self,
+        experiment_id: str = "EXP-SWEEP",
+        title: str | None = None,
+        max_rows: int | None = None,
+    ):
+        """Render as an :class:`~repro.experiments.common.ExperimentTable`.
+
+        Rows are the grid axes plus the outputs; with ``max_rows`` the
+        grid is subsampled evenly and a note records the truncation.
+        """
+        from repro.experiments.common import ExperimentTable
+
+        axis_names = [n for n in self.sweep.grid.names if n in self.columns]
+        headers = tuple(axis_names) + tuple(self.outputs)
+        n = self.size
+        if max_rows is not None and 0 < max_rows < n:
+            indices = np.unique(
+                np.linspace(0, n - 1, max_rows).round().astype(int)
+            )
+        else:
+            indices = np.arange(n)
+        series = [self.columns[name] for name in axis_names] + [
+            self.outputs[name] for name in self.outputs
+        ]
+        rows = tuple(
+            tuple(
+                col[i].item() if isinstance(col[i], np.generic) else col[i]
+                for col in series
+            )
+            for i in indices
+        )
+        notes = [
+            f"{n} grid points, quantity={self.sweep.quantity!r}, "
+            f"cache={self.cache_hit or 'miss'}, "
+            f"evaluated in {self.elapsed_s * 1e3:.2f} ms",
+        ]
+        if len(indices) < n:
+            notes.append(f"showing {len(indices)} of {n} rows (evenly subsampled)")
+        for key, value in self.sweep.fixed:
+            notes.append(f"fixed: {key} = {value!r}")
+        return ExperimentTable(
+            experiment_id=experiment_id,
+            title=title or f"parameter sweep of {self.sweep.quantity}",
+            headers=headers,
+            rows=rows,
+            notes=tuple(notes),
+        )
+
+
+def _simulate_point(payload) -> float:
+    """Worker-pool entry point: one simulator-backed delay evaluation."""
+    params, options = payload
+    from repro.core.canonical import DriverLineLoad
+    from repro.core.simulate import simulated_delay_50
+
+    line = DriverLineLoad(**params)
+    return simulated_delay_50(line, **options)
+
+
+class SweepRunner:
+    """Evaluate sweeps with memoization and simulator fan-out.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk JSON cache; ``None`` disables disk
+        caching (the in-memory cache still applies).
+    max_workers:
+        Worker count for simulator-backed sweeps.  ``None`` uses the
+        CPU count; values <= 1 run serially in-process.
+    executor:
+        ``"thread"`` (default) or ``"process"`` -- the pool flavor for
+        simulator fan-out.  Threads avoid spawn overhead and still
+        overlap the LAPACK-heavy integration kernels; processes
+        sidestep the GIL entirely for pure-Python-bound routes.
+    memory_entries:
+        LRU capacity of the in-memory result cache.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        max_workers: int | None = None,
+        executor: str = "thread",
+        memory_entries: int = 128,
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise ParameterError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if memory_entries < 1:
+            raise ParameterError("memory_entries must be >= 1")
+        self.cache_dir = (
+            pathlib.Path(cache_dir) if cache_dir is not None else None
+        )
+        self.max_workers = max_workers
+        self.executor = executor
+        self.stats = RunnerStats()
+        self._memory: OrderedDict[str, SweepResult] = OrderedDict()
+        self._memory_entries = memory_entries
+        self._lock = threading.Lock()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, sweep: Sweep, refresh: bool = False) -> SweepResult:
+        """Evaluate ``sweep``, consulting the caches unless ``refresh``.
+
+        Concurrent calls are safe but not deduplicated: two threads
+        racing on the same not-yet-cached sweep both evaluate it (the
+        later result wins the cache slot).
+        """
+        quantity = self._quantity(sweep)
+        key = sweep.cache_key()
+        if not refresh:
+            cached = self._load(key, sweep)
+            if cached is not None:
+                return cached
+        with self._lock:
+            self.stats.misses += 1
+        columns, outputs, elapsed = self._evaluate(sweep, quantity)
+        result = SweepResult(
+            sweep=sweep,
+            columns=columns,
+            outputs=outputs,
+            cache_hit=None,
+            elapsed_s=elapsed,
+        )
+        self._store(key, result)
+        return result
+
+    def invalidate(self, sweep: Sweep) -> bool:
+        """Drop any cached result for ``sweep``; True if one existed."""
+        key = sweep.cache_key()
+        removed = False
+        with self._lock:
+            if self._memory.pop(key, None) is not None:
+                removed = True
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            path.unlink()
+            removed = True
+        return removed
+
+    def clear(self) -> None:
+        """Empty both cache layers."""
+        with self._lock:
+            self._memory.clear()
+        if self.cache_dir is not None and self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("sweep-*.json"):
+                path.unlink()
+
+    # -- cache layers ------------------------------------------------------
+
+    def _disk_path(self, key: str) -> pathlib.Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"sweep-{key}.json"
+
+    def _load(self, key: str, sweep: Sweep) -> SweepResult | None:
+        with self._lock:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return SweepResult(
+                    sweep=sweep,
+                    columns=hit.columns,
+                    outputs=hit.outputs,
+                    cache_hit="memory",
+                    elapsed_s=hit.elapsed_s,
+                )
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        size = sweep.grid.size
+        result = SweepResult(
+            sweep=sweep,
+            columns={
+                name: _frozen_column(np.asarray(col), size)
+                for name, col in payload["columns"].items()
+            },
+            outputs={
+                name: _frozen_column(np.asarray(col, dtype=float), size)
+                for name, col in payload["outputs"].items()
+            },
+            cache_hit="disk",
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
+        self.stats.disk_hits += 1
+        self._remember(key, result)
+        return result
+
+    def _store(self, key: str, result: SweepResult) -> None:
+        self._remember(key, result)
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "spec": result.sweep.spec(),
+            "elapsed_s": result.elapsed_s,
+            "columns": {
+                name: np.asarray(col).tolist()
+                for name, col in result.columns.items()
+            },
+            "outputs": {
+                name: np.asarray(col).tolist()
+                for name, col in result.outputs.items()
+            },
+        }
+        # Unique tmp name: concurrent writers of the same key must not
+        # interleave on a shared tmp file before the atomic publish.
+        tmp = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+
+    def _remember(self, key: str, result: SweepResult) -> None:
+        with self._lock:
+            self._memory[key] = result
+            self._memory.move_to_end(key)
+            while len(self._memory) > self._memory_entries:
+                self._memory.popitem(last=False)
+
+    # -- evaluation --------------------------------------------------------
+
+    @staticmethod
+    def _quantity(sweep: Sweep) -> Quantity:
+        quantity = QUANTITIES.get(sweep.quantity)
+        if quantity is None:
+            known = ", ".join(sorted(QUANTITIES))
+            raise ParameterError(
+                f"unknown sweep quantity {sweep.quantity!r}; known: {known}"
+            )
+        options = sweep.option_values
+        if quantity.simulated:
+            unknown = set(options) - set(_SIMULATOR_OPTIONS)
+            if unknown:
+                raise ParameterError(
+                    f"unknown simulator option(s) {sorted(unknown)}; "
+                    f"allowed: {list(_SIMULATOR_OPTIONS)}"
+                )
+            if "route" in options:
+                from repro.core.simulate import SimulatorRoute
+
+                try:
+                    SimulatorRoute(options["route"])
+                except ValueError:
+                    known_routes = ", ".join(r.value for r in SimulatorRoute)
+                    raise ParameterError(
+                        f"unknown simulator route {options['route']!r}; "
+                        f"known: {known_routes}"
+                    ) from None
+        elif options:
+            raise ParameterError(
+                f"quantity {sweep.quantity!r} takes no options, "
+                f"got {sorted(options)}"
+            )
+        return quantity
+
+    def _evaluate(self, sweep: Sweep, quantity: Quantity):
+        size = sweep.grid.size
+        inputs, columns = _resolve_inputs(sweep, quantity)
+        start = time.perf_counter()
+        if quantity.simulated:
+            values = self._fan_out(inputs, sweep.option_values, size)
+            outputs = {quantity.outputs[0]: _frozen_column(values, size)}
+            with self._lock:
+                self.stats.simulator_evaluations += size
+        else:
+            raw = quantity.fn(inputs)
+            outputs = {
+                name: _frozen_column(np.asarray(value, dtype=float), size)
+                for name, value in zip(quantity.outputs, raw)
+            }
+            with self._lock:
+                self.stats.kernel_evaluations += size
+        elapsed = time.perf_counter() - start
+        full_columns = {
+            name: _frozen_column(col, size) for name, col in columns.items()
+        }
+        return full_columns, outputs, elapsed
+
+    def _fan_out(
+        self, inputs: Mapping[str, np.ndarray], options: dict, size: int
+    ) -> np.ndarray:
+        broadcast = {
+            name: np.broadcast_to(np.asarray(value, dtype=float), (size,))
+            for name, value in inputs.items()
+        }
+        payloads = [
+            (
+                {name: float(col[i]) for name, col in broadcast.items()},
+                options,
+            )
+            for i in range(size)
+        ]
+        workers = self.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = min(workers, size)
+        if workers <= 1:
+            values = [_simulate_point(p) for p in payloads]
+        else:
+            pool_cls = (
+                concurrent.futures.ProcessPoolExecutor
+                if self.executor == "process"
+                else concurrent.futures.ThreadPoolExecutor
+            )
+            with pool_cls(max_workers=workers) as pool:
+                values = list(pool.map(_simulate_point, payloads))
+        return np.asarray(values, dtype=float)
+
+
+# -- input resolution -------------------------------------------------------
+
+
+def _merge_derived(
+    available: dict, derived: dict, new: dict, source: str
+) -> None:
+    """Merge a derivation, refusing to clobber explicit parameters.
+
+    A derived parameter that collides with an axis or fixed value would
+    silently evaluate a different circuit than the caller specified, so
+    the conflict is an error rather than a precedence rule.
+    """
+    conflicts = sorted(name for name in new if name in available)
+    if conflicts:
+        raise ParameterError(
+            f"the {source!r} derivation computes {conflicts}, which are "
+            "also given as axes or fixed values; remove one or the other"
+        )
+    available.update(new)
+    derived.update(new)
+
+
+def _resolve_inputs(sweep: Sweep, quantity: Quantity):
+    """Assemble the quantity's input arrays from axes/fixed/derivations.
+
+    Returns ``(inputs, columns)``: the kernel inputs, and the columns to
+    record on the result (grid axes plus every derived circuit input).
+    """
+    available: dict[str, np.ndarray] = dict(sweep.grid.columns())
+    axis_names = set(available)
+    for name, value in sweep.fixed:
+        available[name] = np.asarray(value)
+
+    derived: dict[str, np.ndarray] = {}
+    if "node" in available:
+        _merge_derived(
+            available, derived, _resolve_node(available, quantity), "node"
+        )
+    if "zeta" in available and quantity.name != "zeta":
+        _merge_derived(
+            available, derived, _resolve_zeta_construction(available), "zeta"
+        )
+    if "tlr" in quantity.inputs and "tlr" not in available and all(
+        name in available for name in ("rt", "lt", "r0", "c0")
+    ):
+        available["tlr"] = kernels.batch_inductance_time_ratio(
+            available["rt"], available["lt"], available["r0"], available["c0"]
+        )
+        derived["tlr"] = available["tlr"]
+
+    defaults = quantity.default_values
+    inputs: dict[str, np.ndarray] = {}
+    missing = []
+    for name in quantity.inputs:
+        if name in available:
+            try:
+                inputs[name] = np.asarray(available[name], dtype=float)
+            except (TypeError, ValueError):
+                raise ParameterError(
+                    f"input {name!r} of {quantity.name!r} must be numeric, "
+                    f"got {np.asarray(available[name]).ravel()[:3]!r}"
+                ) from None
+        elif name in defaults:
+            inputs[name] = np.asarray(defaults[name], dtype=float)
+        else:
+            missing.append(name)
+    if missing:
+        raise ParameterError(
+            f"sweep of {quantity.name!r} is missing input(s) {missing}; "
+            "add axes or fixed values (or a 'node'/'zeta' derivation)"
+        )
+
+    columns = {name: available[name] for name in axis_names}
+    columns.update(derived)
+    for name, value in inputs.items():
+        columns.setdefault(name, value)
+    return inputs, columns
+
+
+def _resolve_node(available: dict, quantity: Quantity) -> dict:
+    """Expand a ``node`` axis into wire/buffer parameters.
+
+    Provides per-point ``r0``/``c0`` and ``tlr`` always, plus
+    ``rt``/``lt``/``ct`` when a ``length`` axis or fixed value names the
+    wire length (meters).
+    """
+    from repro.technology.nodes import node_by_name
+
+    names = np.atleast_1d(np.asarray(available["node"]))
+    layer_value = available.get("layer", "global")
+    layers = np.broadcast_to(np.atleast_1d(np.asarray(layer_value)), names.shape)
+    unique = {}
+    for node_name, layer in {(str(n), str(l)) for n, l in zip(names, layers)}:
+        node = node_by_name(node_name)
+        r, l, c = node.wire_rlc(layer)
+        unique[(node_name, layer)] = (r, l, c, node.r0, node.c0)
+    per_point = np.array(
+        [unique[(str(n), str(l))] for n, l in zip(names, layers)]
+    )
+    r_pul, l_pul, c_pul, r0, c0 = per_point.T
+    derived = {"r0": r0, "c0": c0, "tlr": (l_pul / r_pul) / (r0 * c0)}
+    if "length" in available:
+        length = np.asarray(available["length"], dtype=float)
+        if np.any(length <= 0):
+            raise ParameterError("length must be > 0")
+        derived["rt"] = r_pul * length
+        derived["lt"] = l_pul * length
+        derived["ct"] = c_pul * length
+    elif any(n in quantity.inputs for n in ("rt", "lt", "ct")):
+        raise ParameterError(
+            "a 'node' axis needs a 'length' axis or fixed value to "
+            f"resolve the line impedances for {quantity.name!r}"
+        )
+    return derived
+
+
+def _resolve_zeta_construction(available: dict) -> dict:
+    """Expand a ``zeta`` axis via the Fig. 2 constant-(RT, CT) circuit.
+
+    Mirrors :meth:`repro.core.canonical.DriverLineLoad.for_zeta`:
+    ``Rt``/``Ct`` default to 1, ``rtr = RT*Rt``, ``cl = CT*Ct`` and
+    ``Lt`` solves eq. 6 for the requested damping factor.
+    """
+    zeta = np.asarray(available["zeta"], dtype=float)
+    r_ratio = np.asarray(available.get("r_ratio", 0.0), dtype=float)
+    c_ratio = np.asarray(available.get("c_ratio", 0.0), dtype=float)
+    rt = np.asarray(available.get("rt", 1.0), dtype=float)
+    ct = np.asarray(available.get("ct", 1.0), dtype=float)
+    lt = kernels.batch_lt_for_zeta(zeta, r_ratio, c_ratio, rt, ct)
+    derived = {"lt": lt, "rtr": r_ratio * rt, "cl": c_ratio * ct}
+    if "rt" not in available:
+        derived["rt"] = rt
+    if "ct" not in available:
+        derived["ct"] = ct
+    return derived
