@@ -17,6 +17,20 @@ from repro.experiments.common import ExperimentTable, render_table
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
+@pytest.fixture
+def timing_enabled(request) -> bool:
+    """False under ``--benchmark-disable`` (CI smoke mode).
+
+    Wall-clock speedup assertions are meaningless on loaded shared
+    runners; benchmarks gate them on this fixture so fast mode still
+    exercises every path and its agreement checks, timing aside.
+    """
+    try:
+        return not request.config.getoption("--benchmark-disable")
+    except ValueError:  # pytest-benchmark not installed
+        return True
+
+
 @pytest.fixture(scope="session")
 def record_table():
     """Render, print and persist an :class:`ExperimentTable`."""

@@ -42,7 +42,7 @@ def _sweep() -> Sweep:
     return Sweep("propagation_delay", _grid(), fixed=FIXED)
 
 
-def test_bench_sweep_vectorized_speedup(benchmark, record_table):
+def test_bench_sweep_vectorized_speedup(benchmark, record_table, timing_enabled):
     grid = _grid()
     columns = grid.columns()
     n_points = grid.size
@@ -82,9 +82,10 @@ def test_bench_sweep_vectorized_speedup(benchmark, record_table):
     # a few ULP in exp/power; require agreement to that level.
     matches = np.allclose(scalar, batch, rtol=1e-13, atol=0.0)
     assert matches, "engine must reproduce the scalar loop"
-    assert speedup >= 10.0, (
-        f"vectorized engine only {speedup:.1f}x faster than the scalar loop"
-    )
+    if timing_enabled:
+        assert speedup >= 10.0, (
+            f"vectorized engine only {speedup:.1f}x faster than the scalar loop"
+        )
 
     record_table(
         ExperimentTable(

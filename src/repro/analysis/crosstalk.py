@@ -75,9 +75,15 @@ class CrosstalkReport:
         return max(self.victim_peak_noise, abs(self.victim_min_noise))
 
 
-def _simulate(spec: CoupledLadderSpec, mode: VictimMode, window: float, dt: float):
+def _simulate(
+    spec: CoupledLadderSpec,
+    mode: VictimMode,
+    window: float,
+    dt: float,
+    backend: str = "auto",
+):
     circuit = build_coupled_ladder_circuit(spec, mode=mode)
-    result = simulate_transient(circuit, t_stop=window, dt=dt)
+    result = simulate_transient(circuit, t_stop=window, dt=dt, backend=backend)
     return (
         result.voltage(spec.aggressor_output),
         result.voltage(spec.victim_output),
@@ -88,6 +94,7 @@ def analyze_crosstalk(
     spec: CoupledLadderSpec,
     window: float | None = None,
     dt: float | None = None,
+    backend: str = "auto",
 ) -> CrosstalkReport:
     """Measure noise and switching-delay metrics for a coupled pair.
 
@@ -100,6 +107,10 @@ def analyze_crosstalk(
         time scales of one line).
     dt:
         Time step (defaults to window / 6000).
+    backend:
+        MNA linear-solver backend (see
+        :mod:`repro.spice.backend`); long coupled ladders benefit from
+        the sparse path.
 
     >>> spec = CoupledLadderSpec(rt=100.0, lt=25e-9, ct=2e-12, cct=1e-12,
     ...     km=0.5, rtr_aggressor=50.0, rtr_victim=50.0, cl=5e-14,
@@ -117,9 +128,9 @@ def analyze_crosstalk(
     if window <= 0 or dt <= 0:
         raise ParameterError("window and dt must be positive")
 
-    agg_quiet, victim_quiet = _simulate(spec, VictimMode.QUIET, window, dt)
-    agg_even, _ = _simulate(spec, VictimMode.EVEN, window, dt)
-    agg_odd, _ = _simulate(spec, VictimMode.ODD, window, dt)
+    agg_quiet, victim_quiet = _simulate(spec, VictimMode.QUIET, window, dt, backend)
+    agg_even, _ = _simulate(spec, VictimMode.EVEN, window, dt, backend)
+    agg_odd, _ = _simulate(spec, VictimMode.ODD, window, dt, backend)
 
     return CrosstalkReport(
         victim_peak_noise=float(np.max(victim_quiet.values)),

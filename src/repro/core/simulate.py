@@ -51,7 +51,9 @@ __all__ = [
 #: scheme, windowing, de Hoog order policy, ...).  Part of every sweep
 #: cache key (:meth:`repro.sweep.grid.Sweep.cache_key`), so on-disk
 #: simulated results from older numerics are never replayed.
-SIMULATOR_VERSION = 1
+#: Version 2: the MNA transient grid now ends exactly at ``t_stop``
+#: (previously it could overshoot by up to one ``dt``).
+SIMULATOR_VERSION = 2
 
 
 class SimulatorRoute(str, enum.Enum):
@@ -81,6 +83,7 @@ def simulated_step_waveform(
     n_samples: int = 4001,
     window: float = 12.0,
     dt: float | None = None,
+    backend: str = "auto",
 ) -> Waveform:
     """Unit-step far-end waveform of the Fig. 1 circuit.
 
@@ -98,6 +101,11 @@ def simulated_step_waveform(
         Simulated span in units of ``max(t_pd, 1/omega_n)``.
     dt:
         Time step for the MNA route (defaults to ``span / n_samples``).
+    backend:
+        Linear-solver backend for the MNA route (``"auto"`` |
+        ``"dense"`` | ``"sparse"`` | ``"banded"`` or a
+        :class:`~repro.spice.backend.SimulationBackend` instance);
+        ignored by the other routes.
     """
     route = SimulatorRoute(route)
     span = _time_window(line, window)
@@ -124,7 +132,9 @@ def simulated_step_waveform(
 
     if dt is None:
         dt = span / (n_samples - 1)
-    result = simulate_transient(build_ladder_circuit(spec), span, dt=dt)
+    result = simulate_transient(
+        build_ladder_circuit(spec), span, dt=dt, backend=backend
+    )
     return result.voltage(spec.output_node)
 
 
@@ -135,6 +145,7 @@ def simulated_delay_50(
     n_samples: int = 4001,
     window: float = 12.0,
     dt: float | None = None,
+    backend: str = "auto",
 ) -> float:
     """Simulated 50% propagation delay (seconds) of the Fig. 1 circuit.
 
@@ -146,7 +157,7 @@ def simulated_delay_50(
     """
     waveform = simulated_step_waveform(
         line, route=route, n_segments=n_segments, n_samples=n_samples,
-        window=window, dt=dt,
+        window=window, dt=dt, backend=backend,
     )
     try:
         return waveform.delay_50(v_final=1.0)

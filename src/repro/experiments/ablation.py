@@ -39,6 +39,7 @@ def run(
     route: str = "statespace",
     n_segments: int = 120,
     lt_values=(1e-5, 1e-6, 1e-7, 1e-8),
+    backend: str = "auto",
 ) -> ExperimentTable:
     """Error statistics of each delay model over the Table 1 sweep.
 
@@ -52,7 +53,9 @@ def run(
         for lt in lt_values:
             for c_ratio in table1.CT_VALUES:
                 line = table1.build_case(r_ratio, c_ratio, lt)
-                sim = simulated_delay_50(line, route=route, n_segments=n_segments)
+                sim = simulated_delay_50(
+                    line, route=route, n_segments=n_segments, backend=backend
+                )
                 for name, model in _MODELS:
                     try:
                         err = 100.0 * abs(model(line) - sim) / sim

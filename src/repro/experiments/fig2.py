@@ -30,6 +30,7 @@ def run(
     ratio_pairs=RATIO_PAIRS,
     route: str = "tline",
     n_segments: int = 120,
+    backend: str = "auto",
 ) -> ExperimentTable:
     """Regenerate the Fig. 2 series.
 
@@ -48,7 +49,9 @@ def run(
         simulated = []
         for r_ratio, c_ratio in ratio_pairs:
             line = DriverLineLoad.for_zeta(z, r_ratio=r_ratio, c_ratio=c_ratio)
-            t50 = simulated_delay_50(line, route=route, n_segments=n_segments)
+            t50 = simulated_delay_50(
+                line, route=route, n_segments=n_segments, backend=backend
+            )
             simulated.append(t50 * line.omega_n)
         model = float(scaled_delay(z))
         band = [

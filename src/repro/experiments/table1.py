@@ -44,6 +44,7 @@ def run(
     rt_values=RT_VALUES,
     ct_values=CT_VALUES,
     lt_values=LT_VALUES,
+    backend: str = "auto",
 ) -> ExperimentTable:
     """Regenerate Table 1; returns model/simulated delay and error rows."""
     rows = []
@@ -53,7 +54,9 @@ def run(
             for c_ratio in ct_values:
                 line = build_case(r_ratio, c_ratio, lt)
                 model = propagation_delay(line)
-                sim = simulated_delay_50(line, route=route, n_segments=n_segments)
+                sim = simulated_delay_50(
+                    line, route=route, n_segments=n_segments, backend=backend
+                )
                 error = 100.0 * abs(model - sim) / sim
                 worst = max(worst, error)
                 rows.append(

@@ -4,10 +4,18 @@ This subpackage stands in for AS/X, the IBM dynamic circuit simulator the
 paper validates against.  It provides:
 
 - :mod:`repro.spice.netlist`    -- circuit description (R, L, C, sources),
-- :mod:`repro.spice.mna`        -- Modified Nodal Analysis matrix assembly,
+- :mod:`repro.spice.mna`        -- Modified Nodal Analysis assembly in
+  backend-neutral triplet (COO) form; dense matrices only on demand,
+- :mod:`repro.spice.backend`    -- pluggable linear-solver backends:
+  dense LU (reference), ``scipy.sparse`` SuperLU, and an RCM-reordered
+  banded LAPACK path for ladder chains, with ``"auto"`` selection by
+  system size and bandwidth,
 - :mod:`repro.spice.dc`         -- DC operating point,
-- :mod:`repro.spice.transient`  -- backward-Euler / trapezoidal transient,
-- :mod:`repro.spice.ac`         -- small-signal frequency sweeps,
+- :mod:`repro.spice.transient`  -- backward-Euler / trapezoidal transient
+  (one factorization reused across every step; the grid always ends
+  exactly at ``t_stop``),
+- :mod:`repro.spice.ac`         -- small-signal frequency sweeps (triplet
+  assembly per frequency, no dense rebuilds),
 - :mod:`repro.spice.statespace` -- exact matrix-exponential integration of
   LTI state-space models,
 - :mod:`repro.spice.ladder`     -- lumped-segment approximations of the
@@ -15,9 +23,22 @@ paper validates against.  It provides:
 
 The distributed line of the paper is simulated here as an ``n``-segment
 ladder; tests drive ``n`` up until the 50% delay converges and compare
-against the exact frequency-domain solution in :mod:`repro.tline`.
+against the exact frequency-domain solution in :mod:`repro.tline`.  The
+transient/AC/DC entry points all take a ``backend=`` argument
+(``"auto"`` | ``"dense"`` | ``"sparse"`` | ``"banded"`` | a
+:class:`~repro.spice.backend.SimulationBackend` instance), which lets
+simulator-backed sweeps scale to 1000+-segment lines.
 """
 
+from repro.spice.backend import (
+    BACKENDS,
+    BandedLuBackend,
+    CooMatrix,
+    DenseLuBackend,
+    SimulationBackend,
+    SparseLuBackend,
+    resolve_backend,
+)
 from repro.spice.ladder import LadderSpec, LadderTopology, build_ladder_circuit, build_ladder_state_space
 from repro.spice.netlist import (
     Capacitor,
@@ -57,4 +78,11 @@ __all__ = [
     "LadderTopology",
     "build_ladder_circuit",
     "build_ladder_state_space",
+    "SimulationBackend",
+    "DenseLuBackend",
+    "SparseLuBackend",
+    "BandedLuBackend",
+    "BACKENDS",
+    "CooMatrix",
+    "resolve_backend",
 ]

@@ -5,6 +5,14 @@ with every independent source replaced by its AC magnitude (unit for the
 designated input source, zero for the rest -- the classic SPICE ``.AC``
 semantics with a single stimulated source).
 
+Each frequency point assembles ``G + j*omega*C`` directly in triplet
+form and factors it through a pluggable
+:class:`~repro.spice.backend.SimulationBackend`; no dense matrix is
+ever rebuilt per frequency unless the dense backend itself is the best
+fit.  The backend is resolved once per sweep from the (frequency
+independent) union pattern of ``G`` and ``C``, so a 1000-segment ladder
+sweep runs on the banded or sparse path end to end.
+
 The primary use here is validation: the AC response of an ``n``-segment
 ladder must match the cascaded lumped two-port of :mod:`repro.tline.abcd`
 exactly, and must converge to the exact distributed line as ``n`` grows.
@@ -17,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import NetlistError, SimulationError
+from repro.spice.backend import SimulationBackend, resolve_backend
 from repro.spice.mna import build_mna
 from repro.spice.netlist import Circuit, VoltageSource
 
@@ -65,6 +74,7 @@ def ac_sweep(
     circuit: Circuit,
     omegas,
     input_source: str | None = None,
+    backend: SimulationBackend | str = "auto",
 ) -> AcResult:
     """Run an AC sweep over angular frequencies ``omegas``.
 
@@ -79,6 +89,11 @@ def ac_sweep(
     input_source:
         Name of the stimulated voltage source.  May be omitted when the
         circuit contains exactly one voltage source.
+    backend:
+        Linear-solver implementation (``"auto"``, ``"dense"``,
+        ``"sparse"``, ``"banded"``, or a
+        :class:`~repro.spice.backend.SimulationBackend` instance),
+        shared by every frequency point.
     """
     omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
     system = build_mna(circuit)
@@ -97,12 +112,16 @@ def ac_sweep(
     b = np.zeros(system.size, dtype=complex)
     b[system.current_row(input_source)] = 1.0
 
+    # The sparsity pattern of G + jwC is the same at every frequency;
+    # resolve the backend once on the union pattern.
+    backend = resolve_backend(backend, system.combine(1.0, 1.0j))
+
     states = np.empty((omegas.size, system.size), dtype=complex)
     for k, w in enumerate(omegas):
-        matrix = system.g + 1j * w * system.c
+        matrix = system.combine(1.0, 1j * w)
         try:
-            states[k] = np.linalg.solve(matrix, b)
-        except np.linalg.LinAlgError as exc:
+            states[k] = backend.factorize(matrix).solve(b)
+        except SimulationError as exc:
             raise SimulationError(f"singular AC system at omega = {w:g}") from exc
     return AcResult(
         omegas=omegas,

@@ -3,6 +3,11 @@
 At DC, capacitors are open circuits and inductors are shorts; both limits
 fall out naturally from solving ``G x = b(0)`` with the dynamic matrix
 ``C`` dropped (the inductor's branch row reduces to ``v+ - v- = 0``).
+
+The solve goes through a pluggable
+:class:`~repro.spice.backend.SimulationBackend` (dense LU, sparse LU,
+or RCM-banded LU), so operating points of very long ladder chains stay
+O(n) instead of O(n^3).
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.spice.backend import CooMatrix, SimulationBackend, combine, resolve_backend
 from repro.spice.mna import MnaSystem, build_mna
 from repro.spice.netlist import Circuit
 
@@ -45,6 +51,7 @@ def dc_operating_point(
     circuit: Circuit,
     time: float = 0.0,
     gmin: float = 0.0,
+    backend: SimulationBackend | str = "auto",
 ) -> DcSolution:
     """Solve the DC operating point with sources held at ``t = time``.
 
@@ -58,6 +65,10 @@ def dc_operating_point(
         Optional tiny conductance added from every node to ground, the
         standard SPICE trick for floating (capacitor-only) nodes.  Zero by
         default; pass e.g. ``1e-12`` if the solve reports singularity.
+    backend:
+        Linear-solver implementation (``"auto"``, ``"dense"``,
+        ``"sparse"``, ``"banded"``, or a
+        :class:`~repro.spice.backend.SimulationBackend` instance).
 
     Raises
     ------
@@ -65,15 +76,18 @@ def dc_operating_point(
         If the MNA matrix is singular (floating node, inductor loop...).
     """
     system = build_mna(circuit)
-    g = system.g
+    g = system.g_coo
     if gmin:
-        g = g.copy()
-        diag = np.arange(system.n_nodes)
-        g[diag, diag] += gmin
+        diag = np.arange(system.n_nodes, dtype=np.intp)
+        g = combine(
+            (1.0, g),
+            (1.0, CooMatrix(diag, diag, np.full(diag.size, gmin), g.shape)),
+        )
+    backend = resolve_backend(backend, g)
     b = system.rhs(time)
     try:
-        x = np.linalg.solve(g, b)
-    except np.linalg.LinAlgError as exc:
+        x = backend.factorize(g).solve(b)
+    except SimulationError as exc:
         raise SimulationError(
             "singular DC system: check for floating nodes (capacitor-only "
             "islands) or voltage-source/inductor loops; a small gmin may help"

@@ -21,16 +21,26 @@ V source           KCL: ``G[i,m] += 1``, ``G[j,m] -= 1``;
                    branch: ``G[m,i] += 1``, ``G[m,j] -= 1``, ``b[m] = V(t)``
 I source           ``b[i] -= I(t)``, ``b[j] += I(t)``
 =================  =====================================================
+
+Assembly is *backend-neutral*: stamps accumulate as COO triplets
+(:class:`~repro.spice.backend.CooMatrix`), the form every
+:class:`~repro.spice.backend.SimulationBackend` consumes directly.
+Dense ``(n, n)`` arrays are materialized lazily -- and only on demand --
+through the :attr:`MnaSystem.g` / :attr:`MnaSystem.c` properties, so a
+1000-segment ladder never allocates an O(n^2) matrix unless a caller
+explicitly asks for one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import NetlistError
+from repro.spice.backend import CooMatrix, combine
 from repro.spice.netlist import (
     GROUND,
     Capacitor,
@@ -55,8 +65,9 @@ class MnaSystem:
 
     Attributes
     ----------
-    g, c:
-        Dense ``(n, n)`` matrices of the MNA description.
+    g_coo, c_coo:
+        The ``(n, n)`` MNA matrices in triplet (COO) form; duplicate
+        entries sum.
     node_index:
         Map from node name to row index (ground excluded).
     branch_index:
@@ -66,16 +77,36 @@ class MnaSystem:
         waveform(t)``.
     """
 
-    g: np.ndarray
-    c: np.ndarray
+    g_coo: CooMatrix
+    c_coo: CooMatrix
     node_index: dict[str, int]
     branch_index: dict[str, int]
     source_rows: tuple[tuple[int, float, Callable], ...]
 
+    @cached_property
+    def g(self) -> np.ndarray:
+        """Dense ``G`` matrix, materialized on first access."""
+        return self.g_coo.to_dense()
+
+    @cached_property
+    def c(self) -> np.ndarray:
+        """Dense ``C`` matrix, materialized on first access."""
+        return self.c_coo.to_dense()
+
+    def combine(self, g_weight=1.0, c_weight=0.0) -> CooMatrix:
+        """Triplet form of ``g_weight * G + c_weight * C``.
+
+        Complex weights (e.g. ``c_weight = 1j * omega`` for an AC
+        solve) promote the result to a complex matrix.  Zero weights
+        keep their matrix's sparsity pattern as explicit zeros, so the
+        combined pattern is frequency/step-size independent.
+        """
+        return combine((g_weight, self.g_coo), (c_weight, self.c_coo))
+
     @property
     def size(self) -> int:
         """Total number of MNA unknowns."""
-        return self.g.shape[0]
+        return self.g_coo.shape[0]
 
     @property
     def n_nodes(self) -> int:
@@ -120,7 +151,7 @@ class MnaSystem:
 
 
 def build_mna(circuit: Circuit) -> MnaSystem:
-    """Assemble the MNA system for a validated circuit."""
+    """Assemble the MNA system for a validated circuit (COO form)."""
     circuit.validate()
 
     nodes = circuit.node_names()
@@ -131,49 +162,49 @@ def build_mna(circuit: Circuit) -> MnaSystem:
     branch_index = {e.name: n + k for k, e in enumerate(branch_elements)}
     size = n + len(branch_elements)
 
-    g = np.zeros((size, size))
-    c = np.zeros((size, size))
+    g_entries: list[tuple[int, int, float]] = []
+    c_entries: list[tuple[int, int, float]] = []
     sources: list[tuple[int, float, Callable]] = []
 
     def idx(node: str) -> int | None:
         return None if node == GROUND else node_index[node]
 
-    def stamp_pair(matrix: np.ndarray, i, j, value: float) -> None:
+    def stamp_pair(entries: list, i, j, value: float) -> None:
         """Conductance-style two-node stamp."""
         if i is not None:
-            matrix[i, i] += value
+            entries.append((i, i, value))
         if j is not None:
-            matrix[j, j] += value
+            entries.append((j, j, value))
         if i is not None and j is not None:
-            matrix[i, j] -= value
-            matrix[j, i] -= value
+            entries.append((i, j, -value))
+            entries.append((j, i, -value))
 
     def stamp_branch_topology(i, j, m: int) -> None:
         """KCL coupling + voltage constraint pattern shared by L and V."""
         if i is not None:
-            g[i, m] += 1.0
-            g[m, i] += 1.0
+            g_entries.append((i, m, 1.0))
+            g_entries.append((m, i, 1.0))
         if j is not None:
-            g[j, m] -= 1.0
-            g[m, j] -= 1.0
+            g_entries.append((j, m, -1.0))
+            g_entries.append((m, j, -1.0))
 
     def stamp_node_column(row: int, node: str, value: float) -> None:
         """``g[row, node] += value`` skipping ground."""
         col = idx(node)
         if col is not None:
-            g[row, col] += value
+            g_entries.append((row, col, value))
 
     for element in circuit.elements:
         i = idx(element.node_pos)
         j = idx(element.node_neg)
         if isinstance(element, Resistor):
-            stamp_pair(g, i, j, 1.0 / element.value)
+            stamp_pair(g_entries, i, j, 1.0 / element.value)
         elif isinstance(element, Capacitor):
-            stamp_pair(c, i, j, element.value)
+            stamp_pair(c_entries, i, j, element.value)
         elif isinstance(element, Inductor):
             m = branch_index[element.name]
             stamp_branch_topology(i, j, m)
-            c[m, m] -= element.value
+            c_entries.append((m, m, -element.value))
         elif isinstance(element, VoltageControlledVoltageSource):
             # v_i - v_j - gain*(v_cp - v_cn) = 0, plus KCL coupling.
             m = branch_index[element.name]
@@ -184,7 +215,9 @@ def build_mna(circuit: Circuit) -> MnaSystem:
             # v_i - v_j - r * I(ctrl) = 0.
             m = branch_index[element.name]
             stamp_branch_topology(i, j, m)
-            g[m, branch_index[element.ctrl_source]] -= element.transresistance
+            g_entries.append(
+                (m, branch_index[element.ctrl_source], -element.transresistance)
+            )
         elif isinstance(element, VoltageSource):
             m = branch_index[element.name]
             stamp_branch_topology(i, j, m)
@@ -201,9 +234,9 @@ def build_mna(circuit: Circuit) -> MnaSystem:
         elif isinstance(element, CurrentControlledCurrentSource):
             m_ctrl = branch_index[element.ctrl_source]
             if i is not None:
-                g[i, m_ctrl] += element.gain
+                g_entries.append((i, m_ctrl, element.gain))
             if j is not None:
-                g[j, m_ctrl] -= element.gain
+                g_entries.append((j, m_ctrl, -element.gain))
         elif isinstance(element, CurrentSource):
             if i is not None:
                 sources.append((i, -1.0, element.waveform))
@@ -223,13 +256,22 @@ def build_mna(circuit: Circuit) -> MnaSystem:
         mval = mutual.coupling * np.sqrt(
             inductor_values[mutual.inductor1] * inductor_values[mutual.inductor2]
         )
-        c[m1, m2] -= mval
-        c[m2, m1] -= mval
+        c_entries.append((m1, m2, -mval))
+        c_entries.append((m2, m1, -mval))
 
     return MnaSystem(
-        g=g,
-        c=c,
+        g_coo=_to_coo(g_entries, size),
+        c_coo=_to_coo(c_entries, size),
         node_index=node_index,
         branch_index=branch_index,
         source_rows=tuple(sources),
     )
+
+
+def _to_coo(entries: list[tuple[int, int, float]], size: int) -> CooMatrix:
+    if entries:
+        rows, cols, data = (np.asarray(seq) for seq in zip(*entries))
+    else:
+        rows = cols = np.empty(0, dtype=np.intp)
+        data = np.empty(0, dtype=float)
+    return CooMatrix(rows, cols, data, (size, size))

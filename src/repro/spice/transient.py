@@ -13,7 +13,23 @@ either of the two classic companion-model integrators:
     experiments probe, so it is the default here too.
 
 Both reduce each step to one linear solve with a *constant* matrix
-(fixed ``dt``), which is LU-factorized once.
+(fixed step size), factorized exactly once through a pluggable
+:class:`~repro.spice.backend.SimulationBackend` -- dense LU for small
+systems, RCM-banded or sparse LU for the long ladder chains where a
+dense solve would cost O(n^3)/O(n^2) per run.
+
+Time grid
+---------
+
+The grid always ends *exactly* at ``t_stop``.  ``dt`` is an upper bound
+on the step: the span is divided into ``ceil((t_stop - t_start) / dt)``
+equal steps (``numpy.linspace`` style), so a non-divisible span shrinks
+the effective step slightly rather than letting the final sample
+overshoot past ``t_stop``.  (Historically the last point could land up
+to ``dt`` *after* ``t_stop``, silently skewing measurements -- such as
+the 50% delay -- that treat the last sample as the steady state.)  A
+uniform, slightly smaller step was chosen over one final partial step
+so a single matrix factorization still serves every step.
 """
 
 from __future__ import annotations
@@ -22,9 +38,9 @@ import enum
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.linalg
 
 from repro.errors import ParameterError, SimulationError
+from repro.spice.backend import SimulationBackend, resolve_backend
 from repro.spice.mna import MnaSystem, build_mna
 from repro.spice.netlist import GROUND, Circuit, canonical_node
 from repro.tline.waveform import Waveform
@@ -46,7 +62,8 @@ class TransientResult:
     Attributes
     ----------
     times:
-        The simulation grid, shape ``(n_steps + 1,)``.
+        The simulation grid, shape ``(n_steps + 1,)``; ``times[-1]`` is
+        exactly ``t_stop``.
     states:
         Solution matrix, shape ``(n_steps + 1, n_unknowns)``.
     system:
@@ -75,8 +92,24 @@ class TransientResult:
         return self.times.size - 1
 
 
+def _time_grid(t_start: float, t_stop: float, dt: float) -> np.ndarray:
+    """Uniform grid from ``t_start`` to exactly ``t_stop``.
+
+    ``dt`` caps the step; the count is ``ceil(span / dt)`` with a
+    one-part-in-1e12 snap so a span that divides ``dt`` up to float
+    round-off keeps its intended step count instead of gaining a
+    near-degenerate extra step.
+    """
+    span = t_stop - t_start
+    n_steps = max(1, int(np.ceil((span / dt) * (1.0 - 1e-12))))
+    return np.linspace(t_start, t_stop, n_steps + 1)
+
+
 def _initial_state(
-    system: MnaSystem, initial: str | np.ndarray, t0: float
+    system: MnaSystem,
+    initial: str | np.ndarray,
+    t0: float,
+    backend: SimulationBackend,
 ) -> np.ndarray:
     if isinstance(initial, np.ndarray):
         if initial.shape != (system.size,):
@@ -88,8 +121,8 @@ def _initial_state(
         return np.zeros(system.size)
     if initial == "dc":
         try:
-            return np.linalg.solve(system.g, system.rhs(t0))
-        except np.linalg.LinAlgError as exc:
+            return backend.factorize(system.g_coo).solve(system.rhs(t0))
+        except SimulationError as exc:
             raise SimulationError(
                 "singular DC system while computing the initial operating "
                 "point; pass initial='zero' or an explicit state vector"
@@ -104,6 +137,7 @@ def simulate_transient(
     method: IntegrationMethod | str = IntegrationMethod.TRAPEZOIDAL,
     initial: str | np.ndarray = "dc",
     t_start: float = 0.0,
+    backend: SimulationBackend | str = "auto",
 ) -> TransientResult:
     """Run a fixed-step transient analysis.
 
@@ -112,15 +146,24 @@ def simulate_transient(
     circuit:
         Netlist to simulate.
     t_stop:
-        End time (seconds); the grid is ``t_start, t_start + dt, ...``.
+        End time (seconds).  The grid always includes ``t_stop`` as its
+        exact last sample (see the module docstring).
     dt:
-        Fixed step size.  For RLC lines, resolve the fastest LC period:
-        a few hundred steps per ``2*pi*sqrt(L_seg * C_seg)``.
+        Maximum step size; when ``(t_stop - t_start) / dt`` is not an
+        integer the actual step shrinks so the grid stays uniform and
+        lands exactly on ``t_stop``.  For RLC lines, resolve the
+        fastest LC period: a few hundred steps per
+        ``2*pi*sqrt(L_seg * C_seg)``.
     method:
         ``"trapezoidal"`` (default) or ``"backward-euler"``.
     initial:
         ``"dc"`` (operating point with sources at ``t_start``), ``"zero"``,
         or an explicit MNA state vector.
+    backend:
+        Linear-solver implementation: ``"auto"`` (default; picks dense,
+        banded or sparse from the system's size and bandwidth), one of
+        ``"dense"``/``"sparse"``/``"banded"``, or a
+        :class:`~repro.spice.backend.SimulationBackend` instance.
 
     Returns
     -------
@@ -142,35 +185,42 @@ def simulate_transient(
         raise ParameterError("t_stop must exceed t_start")
 
     system = build_mna(circuit)
-    n_steps = int(np.ceil((t_stop - t_start) / dt))
-    times = t_start + dt * np.arange(n_steps + 1)
+    times = _time_grid(t_start, t_stop, dt)
+    n_steps = times.size - 1
+    dt_eff = (t_stop - t_start) / n_steps
+
+    if method is IntegrationMethod.BACKWARD_EULER:
+        lhs = system.combine(1.0, 1.0 / dt_eff)
+        history = system.c_coo.scaled(1.0 / dt_eff)
+    else:
+        lhs = system.combine(1.0, 2.0 / dt_eff)
+        history = system.combine(-1.0, 2.0 / dt_eff)
+
+    backend = resolve_backend(backend, lhs)
+    # Factor the stepping matrix before the initial-state solve: the
+    # banded backend memoizes its last RCM profile, and the DC solve's
+    # different G-only pattern would otherwise evict the profile that
+    # resolve_backend("auto") just seeded for the LHS.
+    try:
+        factorization = backend.factorize(lhs)
+    except SimulationError as exc:
+        raise SimulationError(
+            f"singular transient system matrix (backend={backend.name})"
+        ) from exc
+    history_op = history.to_csr()
 
     x = np.empty((n_steps + 1, system.size))
-    x[0] = _initial_state(system, initial, t_start)
-
-    g, c = system.g, system.c
+    x[0] = _initial_state(system, initial, t_start, backend)
     b_all = system.rhs_matrix(times)
 
     if method is IntegrationMethod.BACKWARD_EULER:
-        lhs = g + c / dt
-    else:
-        lhs = g + 2.0 * c / dt
-
-    try:
-        lu, piv = scipy.linalg.lu_factor(lhs)
-    except scipy.linalg.LinAlgError as exc:  # pragma: no cover - rare
-        raise SimulationError("singular transient system matrix") from exc
-
-    if method is IntegrationMethod.BACKWARD_EULER:
-        c_over_dt = c / dt
         for k in range(n_steps):
-            rhs = b_all[k + 1] + c_over_dt @ x[k]
-            x[k + 1] = scipy.linalg.lu_solve((lu, piv), rhs)
+            rhs = b_all[k + 1] + history_op @ x[k]
+            x[k + 1] = factorization.solve(rhs)
     else:
-        history = 2.0 * c / dt - g
         for k in range(n_steps):
-            rhs = b_all[k + 1] + b_all[k] + history @ x[k]
-            x[k + 1] = scipy.linalg.lu_solve((lu, piv), rhs)
+            rhs = b_all[k + 1] + b_all[k] + history_op @ x[k]
+            x[k + 1] = factorization.solve(rhs)
 
     if not np.all(np.isfinite(x)):
         raise SimulationError(

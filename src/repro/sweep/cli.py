@@ -89,6 +89,10 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         "--dt", type=float, help="time step for the MNA route (seconds)"
     )
     parser.add_argument(
+        "--backend",
+        help="MNA linear-solver backend (auto | dense | sparse | banded)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         help="worker-pool size for simulated sweeps (default: CPU count)",
@@ -195,6 +199,8 @@ def build_sweep(args: argparse.Namespace) -> Sweep:
         options["window"] = args.window
     if args.dt is not None:
         options["dt"] = args.dt
+    if args.backend is not None:
+        options["backend"] = args.backend
     return Sweep(args.quantity, ParameterGrid(*components), fixed, options)
 
 

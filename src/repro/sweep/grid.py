@@ -238,7 +238,8 @@ class Sweep:
         Evaluator settings that do not name circuit parameters; for the
         simulator-backed quantities these are the
         :func:`repro.core.simulate.simulated_delay_50` keywords
-        (``route``, ``n_segments``, ``n_samples``, ``window``, ``dt``).
+        (``route``, ``n_segments``, ``n_samples``, ``window``, ``dt``,
+        ``backend``).
     """
 
     quantity: str

@@ -33,6 +33,7 @@ import os
 import pathlib
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
@@ -54,7 +55,7 @@ __all__ = [
 #: On-disk cache schema version (bumped on format changes).
 CACHE_SCHEMA_VERSION = 1
 
-_SIMULATOR_OPTIONS = ("route", "n_segments", "n_samples", "window", "dt")
+_SIMULATOR_OPTIONS = ("route", "n_segments", "n_samples", "window", "dt", "backend")
 
 
 def _frozen_column(values, size: int) -> np.ndarray:
@@ -194,6 +195,9 @@ class RunnerStats:
     simulator_evaluations: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    #: Disk files that parsed but failed validation against the
+    #: requesting sweep (stale schema, tampered axes, wrong lengths).
+    disk_invalid: int = 0
     misses: int = 0
 
 
@@ -287,6 +291,76 @@ class SweepResult:
             rows=rows,
             notes=tuple(notes),
         )
+
+
+def _disk_payload_problem(payload: dict, sweep: Sweep) -> str | None:
+    """Validate a parsed cache file against the requesting sweep.
+
+    The file name is derived from the sweep's cache key, but a stale,
+    truncated or hand-edited file can still parse cleanly while holding
+    the wrong data; replaying it would silently return wrong columns.
+    The input columns (grid axes plus derivations) are cheap and
+    deterministic to recompute, so they are re-derived here and the
+    stored ones must match exactly -- names and values; only the
+    expensive *outputs* are taken on trust (their names and lengths are
+    still checked).  Returns a human-readable description of the first
+    problem found, or ``None`` when the payload is trustworthy.
+    """
+    columns = payload.get("columns")
+    outputs = payload.get("outputs")
+    if not isinstance(columns, dict) or not isinstance(outputs, dict):
+        return "columns/outputs are not JSON objects"
+    if not outputs:
+        return "no output columns stored"
+
+    quantity = QUANTITIES.get(sweep.quantity)
+    if quantity is not None and set(outputs) != set(quantity.outputs):
+        return (
+            f"stored outputs {sorted(outputs)} do not match the "
+            f"quantity's outputs {sorted(quantity.outputs)}"
+        )
+
+    size = sweep.grid.size
+    for label, mapping in (("column", columns), ("output", outputs)):
+        for name, values in mapping.items():
+            if not isinstance(values, list) or len(values) != size:
+                length = len(values) if isinstance(values, list) else "non-list"
+                return (
+                    f"{label} {name!r} has length {length}, "
+                    f"expected {size} grid points"
+                )
+
+    if quantity is None:  # pragma: no cover - run() validates first
+        return None
+    try:
+        _, expected_columns = _resolve_inputs(sweep, quantity)
+    except ParameterError as exc:
+        return f"could not re-derive the input columns ({exc})"
+    expected = {
+        name: np.broadcast_to(np.asarray(col), (size,))
+        for name, col in expected_columns.items()
+    }
+    if set(columns) != set(expected):
+        return (
+            f"stored columns {sorted(columns)} do not match the "
+            f"sweep's columns {sorted(expected)}"
+        )
+    for name, want in expected.items():
+        stored = columns[name]
+        if want.dtype.kind in "fc":
+            try:
+                stored_arr = np.asarray(stored, dtype=float)
+            except (TypeError, ValueError):
+                return f"column {name!r} is not numeric"
+            # JSON round-trips float64 exactly, but re-derived values
+            # may drift by an ulp across numpy/libm builds; a tight
+            # relative tolerance still catches tampering and staleness
+            # without invalidating caches on every toolchain change.
+            if not np.allclose(stored_arr, want, rtol=1e-12, atol=0.0):
+                return f"column {name!r} does not match the sweep"
+        elif [str(v) for v in stored] != [str(v) for v in want]:
+            return f"column {name!r} does not match the sweep"
+    return None
 
 
 def _simulate_point(payload) -> float:
@@ -419,6 +493,18 @@ class SweepRunner:
         except (OSError, json.JSONDecodeError):
             return None
         if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            # A different on-disk format, not corruption: silently treat
+            # as a miss (the same policy as before validation existed).
+            return None
+        problem = _disk_payload_problem(payload, sweep)
+        if problem is not None:
+            with self._lock:
+                self.stats.disk_invalid += 1
+            warnings.warn(
+                f"ignoring sweep cache file {path}: {problem}; re-evaluating",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return None
         size = sweep.grid.size
         result = SweepResult(
@@ -500,6 +586,15 @@ class SweepRunner:
                         f"unknown simulator route {options['route']!r}; "
                         f"known: {known_routes}"
                     ) from None
+            backend_name = options.get("backend")
+            if isinstance(backend_name, str) and backend_name.lower() != "auto":
+                from repro.spice.backend import resolve_backend
+
+                # Raises ParameterError for unknown names, with the
+                # same message the simulation entry points produce.
+                # ("auto" needs a system matrix, so it is vetted by the
+                # simulation itself.)
+                resolve_backend(backend_name)
         elif options:
             raise ParameterError(
                 f"quantity {sweep.quantity!r} takes no options, "

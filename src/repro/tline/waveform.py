@@ -53,6 +53,19 @@ def first_crossing(
 ) -> float:
     """Time of the first crossing of ``level``, linearly interpolated.
 
+    A *crossing* requires an actual transition: a sample strictly on
+    the non-satisfying side of ``level`` followed by one at or beyond
+    it.  Two boundary cases are defined explicitly:
+
+    - a waveform that starts *exactly at* ``level`` and departs in the
+      crossing direction (upward for ``rising``, downward otherwise)
+      crosses at ``t[0]`` -- it genuinely passes through the level;
+    - a waveform that merely *starts beyond* the level (e.g. one that
+      begins at 1 when searching for a falling crossing of 1) has not
+      crossed anything; the search continues with later transitions and
+      raises if there are none.  (Historically this returned ``t[0]``,
+      reporting a crossing that never happened.)
+
     Parameters
     ----------
     t, v:
@@ -69,22 +82,32 @@ def first_crossing(
     """
     t, v = _validate(t, v)
     if rising:
-        above = v >= level
+        satisfied = v >= level
     else:
-        above = v <= level
-    if above[0]:
-        return float(t[0])
-    hits = np.nonzero(above[1:] & ~above[:-1])[0]
+        satisfied = v <= level
+    if v[0] == level:
+        departures = np.nonzero(v != level)[0]
+        if departures.size:
+            first = v[departures[0]]
+            if (first > level) if rising else (first < level):
+                return float(t[0])
+    hits = np.nonzero(satisfied[1:] & ~satisfied[:-1])[0]
     if hits.size == 0:
         direction = "rising" if rising else "falling"
+        boundary = (
+            "; it starts at or beyond the level and never crosses it "
+            "(a crossing requires an actual transition)"
+            if satisfied[0]
+            else ""
+        )
         raise AnalysisError(
             f"waveform never crosses level {level!r} ({direction}); "
-            f"range is [{v.min():g}, {v.max():g}]"
+            f"range is [{v.min():g}, {v.max():g}]{boundary}"
         )
     i = int(hits[0])
     v0, v1 = v[i], v[i + 1]
-    if v1 == v0:
-        return float(t[i + 1])
+    # v0 is strictly on the non-satisfying side and v1 at/beyond the
+    # level, so v1 != v0 and the interpolation below is well defined.
     frac = (level - v0) / (v1 - v0)
     return float(t[i] + frac * (t[i + 1] - t[i]))
 

@@ -197,3 +197,42 @@ class TestTransientValidation:
     def test_n_steps(self):
         result = simulate_transient(rc_charge_circuit(), 1e-9, 1e-10)
         assert result.n_steps == 10
+
+
+class TestTimeGridClamp:
+    """The grid must end exactly at t_stop, never overshoot it."""
+
+    def test_divisible_span_keeps_requested_step(self):
+        result = simulate_transient(rc_charge_circuit(), 1e-9, 2e-10)
+        assert result.n_steps == 5
+        assert result.times[-1] == 1e-9
+
+    def test_non_divisible_span_never_exceeds_t_stop(self):
+        # 1e-9 / 3e-10 = 3.33..: the seed produced 4 steps of 3e-10,
+        # with the final sample landing at 1.2e-9 -- past t_stop.
+        result = simulate_transient(rc_charge_circuit(), 1e-9, 3e-10)
+        assert result.times[-1] == 1e-9
+        assert np.all(result.times <= 1e-9)
+        assert result.n_steps == 4  # step shrinks, count rounds up
+        assert np.allclose(np.diff(result.times), 1e-9 / 4)
+
+    def test_non_divisible_span_with_offset_start(self):
+        result = simulate_transient(
+            rc_charge_circuit(), t_stop=2.05e-9, dt=3e-10, t_start=1e-9
+        )
+        assert result.times[0] == 1e-9
+        assert result.times[-1] == 2.05e-9
+        assert np.all(result.times <= 2.05e-9)
+
+    def test_delay_50_unchanged_vs_divisible_grid(self):
+        # A non-divisible span shrinks dt slightly; with a second-order
+        # integrator the measured delay must be indistinguishable from
+        # the divisible-grid reference.
+        t_stop = 5e-9
+        reference = simulate_transient(rc_charge_circuit(), t_stop, 2e-12)
+        clamped = simulate_transient(rc_charge_circuit(), t_stop, 2.03e-12)
+        d_ref = reference.voltage("out").delay_50(v_final=1.0)
+        d_clamped = clamped.voltage("out").delay_50(v_final=1.0)
+        assert d_clamped == pytest.approx(d_ref, rel=1e-4)
+        # ~dt/2 onset offset from the step-at-t_start convention.
+        assert d_ref == pytest.approx(1e-9 * np.log(2.0), rel=3e-3)

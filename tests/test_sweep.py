@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -403,6 +404,82 @@ class TestSweepRunner:
         assert table.headers[-1] == "delay_s"
         assert any("showing 3 of 6 rows" in note for note in table.notes)
 
+    def test_unknown_simulator_backend_is_a_parameter_error(self):
+        grid = ParameterGrid(Axis("zeta", [0.5]))
+        with pytest.raises(ParameterError, match="unknown simulation backend"):
+            SweepRunner().run(
+                Sweep("simulated_delay_50", grid, options={"backend": "bogus"})
+            )
+
+    # -- disk-cache validation (stale / hand-edited files) -----------------
+
+    def _cache_file(self, tmp_path):
+        files = list(tmp_path.glob("sweep-*.json"))
+        assert len(files) == 1
+        return files[0]
+
+    def _tampered_replay(self, tmp_path, mutate):
+        """Seed the disk cache, corrupt it with ``mutate``, replay."""
+        fresh = SweepRunner(cache_dir=tmp_path).run(self._sweep())
+        path = self._cache_file(tmp_path)
+        payload = json.loads(path.read_text())
+        mutate(payload)
+        path.write_text(json.dumps(payload))
+        replayer = SweepRunner(cache_dir=tmp_path)
+        with pytest.warns(RuntimeWarning, match="ignoring sweep cache file"):
+            replayed = replayer.run(self._sweep())
+        assert replayed.cache_hit is None  # fell back to re-evaluation
+        assert replayer.stats.disk_invalid == 1
+        assert replayer.stats.kernel_evaluations == 6
+        assert np.array_equal(replayed.output(), fresh.output())
+        return replayer
+
+    def test_tampered_axis_values_are_rejected(self, tmp_path):
+        def mutate(payload):
+            payload["columns"]["rt"][0] = 123.456
+
+        self._tampered_replay(tmp_path, mutate)
+
+    def test_truncated_output_is_rejected(self, tmp_path):
+        def mutate(payload):
+            payload["outputs"]["delay_s"] = payload["outputs"]["delay_s"][:-1]
+
+        self._tampered_replay(tmp_path, mutate)
+
+    def test_missing_axis_column_is_rejected(self, tmp_path):
+        def mutate(payload):
+            del payload["columns"]["lt"]
+
+        self._tampered_replay(tmp_path, mutate)
+
+    def test_injected_extra_column_is_rejected(self, tmp_path):
+        def mutate(payload):
+            payload["columns"]["phantom"] = payload["columns"]["rt"]
+
+        self._tampered_replay(tmp_path, mutate)
+
+    def test_tampered_derived_column_is_rejected(self, tmp_path):
+        # Non-axis columns (fixed/derived inputs) are validated too.
+        def mutate(payload):
+            payload["columns"]["ct"] = [9e-9] * len(payload["columns"]["rt"])
+
+        self._tampered_replay(tmp_path, mutate)
+
+    def test_renamed_output_is_rejected(self, tmp_path):
+        def mutate(payload):
+            payload["outputs"]["wrong_name"] = payload["outputs"].pop("delay_s")
+
+        self._tampered_replay(tmp_path, mutate)
+
+    def test_valid_replay_stays_silent(self, tmp_path):
+        SweepRunner(cache_dir=tmp_path).run(self._sweep())
+        replayer = SweepRunner(cache_dir=tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            replayed = replayer.run(self._sweep())
+        assert replayed.cache_hit == "disk"
+        assert replayer.stats.disk_invalid == 0
+
 
 class TestSimulatedFanOut:
     def _sweep(self):
@@ -430,6 +507,24 @@ class TestSimulatedFanOut:
         serial = SweepRunner(max_workers=1).run(self._sweep())
         pooled = SweepRunner(max_workers=3, executor="thread").run(self._sweep())
         assert np.array_equal(serial.output(), pooled.output())
+
+    def test_mna_route_accepts_backend_option(self):
+        grid = ParameterGrid(Axis("zeta", [1.0]))
+        results = {}
+        for backend in ("dense", "sparse"):
+            sweep = Sweep(
+                "simulated_delay_50",
+                grid,
+                fixed={"r_ratio": 0.5, "c_ratio": 0.5},
+                options={
+                    "route": "mna",
+                    "n_segments": 12,
+                    "n_samples": 801,
+                    "backend": backend,
+                },
+            )
+            results[backend] = SweepRunner(max_workers=1).run(sweep).output()[0]
+        assert results["sparse"] == pytest.approx(results["dense"], rel=1e-9)
 
 
 class TestSweepCli:

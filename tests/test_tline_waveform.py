@@ -30,10 +30,38 @@ class TestFirstCrossing:
         assert first_crossing(t, v, 0.5) == pytest.approx(0.5)
         assert first_crossing(t, v, 1.5) == pytest.approx(1.5)
 
-    def test_starts_above_level(self):
+    def test_starts_above_level_is_not_a_crossing(self):
+        # Starting beyond the level is not a transition; the historical
+        # behavior returned t[0] here, reporting a crossing that never
+        # happened.
         t = np.array([0.0, 1.0])
         v = np.array([2.0, 3.0])
-        assert first_crossing(t, v, 1.0) == 0.0
+        with pytest.raises(AnalysisError, match="actual transition"):
+            first_crossing(t, v, 1.0)
+
+    def test_starts_above_level_later_recrossing_found(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        v = np.array([2.0, 0.0, 0.0, 1.0])
+        # Rising search skips the initial above-level sample and finds
+        # the genuine upward transition between t=2 and t=3.
+        assert first_crossing(t, v, 0.5) == pytest.approx(2.5)
+
+    def test_starts_at_level_departing_in_direction(self):
+        # Starting exactly at the level and moving through it counts as
+        # a crossing at t[0] -- for both directions.
+        t = np.array([0.0, 1.0, 2.0])
+        up = np.array([1.0, 2.0, 3.0])
+        down = np.array([1.0, 0.5, 0.0])
+        assert first_crossing(t, up, 1.0, rising=True) == 0.0
+        assert first_crossing(t, down, 1.0, rising=False) == 0.0
+
+    def test_starts_at_level_departing_against_direction(self):
+        # A waveform that starts at the level and *rises* never crosses
+        # it falling: the seed reported t[0] here.
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(AnalysisError, match="never crosses"):
+            first_crossing(t, v, 1.0, rising=False)
 
     def test_falling_crossing(self):
         t = np.array([0.0, 1.0, 2.0])
