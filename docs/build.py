@@ -1,0 +1,440 @@
+#!/usr/bin/env python
+"""Build the repro documentation site (pure stdlib, no pip deps).
+
+The container this repository grows in bakes in numpy/scipy but no
+documentation toolchain (no Sphinx, no MkDocs), and installing
+packages is off the table -- so the site generator lives here, in
+~400 lines of standard library:
+
+- the hand-written pages under ``docs/*.md`` (index, architecture,
+  paper-equation cross-index) are converted with a minimal Markdown
+  subset (headings, fenced code, tables, lists, links, inline code,
+  bold);
+- an **API reference** page per module is generated from the package's
+  docstrings via ``inspect`` (module docstring, then every ``__all__``
+  entry with its signature, anchored by name);
+- every internal link is checked against the generated file/anchor set,
+  every public callable must carry a docstring, and the equation
+  cross-index must link every public callable of ``repro.core`` -- all
+  three are *warnings*, and ``--strict`` turns warnings into a nonzero
+  exit (the CI docs job and ``tests/test_docs.py`` build with
+  ``--strict``).
+
+Usage::
+
+    python docs/build.py                     # build into docs/_site
+    python docs/build.py --strict            # warnings fail the build
+    python docs/build.py --out /tmp/site
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import importlib
+import inspect
+import pathlib
+import pkgutil
+import re
+import sys
+
+DOCS_DIR = pathlib.Path(__file__).parent
+REPO_ROOT = DOCS_DIR.parent
+
+#: Hand-written source pages, in navigation order.
+PAGES = ("index.md", "architecture.md", "equations.md")
+
+STYLE = """
+body { font-family: Georgia, serif; max-width: 56rem; margin: 2rem auto;
+       padding: 0 1rem; line-height: 1.55; color: #1a1a1a; }
+nav { border-bottom: 1px solid #ccc; padding-bottom: .5rem;
+      margin-bottom: 1.5rem; font-family: Helvetica, Arial, sans-serif; }
+nav a { margin-right: 1.25rem; text-decoration: none; color: #205080; }
+h1, h2, h3, h4 { font-family: Helvetica, Arial, sans-serif; }
+code, pre { font-family: "SF Mono", Menlo, Consolas, monospace;
+            font-size: .92em; background: #f5f5f2; }
+pre { padding: .75rem; overflow-x: auto; border-left: 3px solid #d0d0c8; }
+pre.docstring { background: #fbfbf8; white-space: pre-wrap; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }
+th { background: #f0f0ea; font-family: Helvetica, Arial, sans-serif; }
+.sig { background: #eef2f6; padding: .4rem .6rem; border-left: 3px solid
+       #205080; margin-top: 1.5rem; }
+.module-doc { margin-bottom: 1.5rem; }
+"""
+
+
+class Builder:
+    """Accumulates pages and warnings, then writes and link-checks."""
+
+    def __init__(self) -> None:
+        #: site-relative path -> (title, html body, set of anchor ids)
+        self.pages: dict[str, tuple[str, str, set[str]]] = {}
+        self.warnings: list[str] = []
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def add_page(self, path: str, title: str, body: str) -> None:
+        anchors = set(re.findall(r'id="([^"]+)"', body))
+        self.pages[path] = (title, body, anchors)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, path: str) -> str:
+        title, body, _ = self.pages[path]
+        root = "../" if "/" in path else ""
+        nav = " ".join(
+            f'<a href="{root}{target}">{label}</a>'
+            for label, target in (
+                ("repro", "index.html"),
+                ("architecture", "architecture.html"),
+                ("paper equations", "equations.html"),
+                ("API reference", "api/index.html"),
+            )
+        )
+        return (
+            "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+            f"<title>{html.escape(title)}</title>"
+            f"<style>{STYLE}</style></head>\n"
+            f"<body><nav>{nav}</nav>\n{body}\n</body></html>\n"
+        )
+
+    def write(self, out_dir: pathlib.Path) -> None:
+        for path in self.pages:
+            target = out_dir / path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(self.render(path))
+
+    # -- link checking -------------------------------------------------------
+
+    def check_links(self) -> None:
+        """Every internal href must resolve to a page (and anchor)."""
+        for path, (_, body, _) in self.pages.items():
+            base = pathlib.PurePosixPath(path).parent
+            for href in re.findall(r'href="([^"]+)"', body):
+                if href.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target, _, fragment = href.partition("#")
+                if target:
+                    resolved = _normalize(base / target)
+                    if resolved not in self.pages:
+                        self.warn(f"{path}: broken link to {href!r}")
+                        continue
+                else:
+                    resolved = path
+                if fragment and fragment not in self.pages[resolved][2]:
+                    self.warn(
+                        f"{path}: link {href!r} targets a missing "
+                        f"anchor #{fragment}"
+                    )
+
+
+def _normalize(path: pathlib.PurePosixPath) -> str:
+    parts: list[str] = []
+    for part in path.parts:
+        if part == "..":
+            if parts:
+                parts.pop()
+        elif part != ".":
+            parts.append(part)
+    return "/".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Minimal Markdown conversion
+# ---------------------------------------------------------------------------
+
+
+def _inline(text: str) -> str:
+    """Inline markup: code spans, links, bold (applied in that order)."""
+    out: list[str] = []
+    # Split on code spans first so their contents stay verbatim.
+    for i, chunk in enumerate(re.split(r"`([^`]+)`", text)):
+        if i % 2:
+            out.append(f"<code>{html.escape(chunk)}</code>")
+        else:
+            chunk = html.escape(chunk)
+            chunk = re.sub(
+                r"\[([^\]]+)\]\(([^)\s]+)\)", r'<a href="\2">\1</a>', chunk
+            )
+            chunk = re.sub(r"\*\*([^*]+)\*\*", r"<b>\1</b>", chunk)
+            out.append(chunk)
+    return "".join(out)
+
+
+def markdown_to_html(text: str) -> str:
+    """Convert the documentation Markdown subset to HTML."""
+    lines = text.splitlines()
+    out: list[str] = []
+    paragraph: list[str] = []
+    i = 0
+
+    def flush() -> None:
+        if paragraph:
+            out.append(f"<p>{_inline(' '.join(paragraph))}</p>")
+            paragraph.clear()
+
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("```"):
+            flush()
+            block: list[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                block.append(lines[i])
+                i += 1
+            out.append(f"<pre>{html.escape(chr(10).join(block))}</pre>")
+            i += 1
+            continue
+        heading = re.match(r"(#{1,4})\s+(.*)", line)
+        if heading:
+            flush()
+            level = len(heading.group(1))
+            title = heading.group(2).strip()
+            anchor = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+            out.append(
+                f'<h{level} id="{anchor}">{_inline(title)}</h{level}>'
+            )
+            i += 1
+            continue
+        if line.startswith("|"):
+            flush()
+            rows: list[list[str]] = []
+            while i < len(lines) and lines[i].startswith("|"):
+                cells = [c.strip() for c in lines[i].strip("|").split("|")]
+                if not all(re.fullmatch(r":?-+:?", c) for c in cells):
+                    rows.append(cells)
+                i += 1
+            table = ["<table>"]
+            for r, cells in enumerate(rows):
+                tag = "th" if r == 0 else "td"
+                inner = "".join(
+                    f"<{tag}>{_inline(c)}</{tag}>" for c in cells
+                )
+                table.append(f"<tr>{inner}</tr>")
+            table.append("</table>")
+            out.append("".join(table))
+            continue
+        if line.startswith("- "):
+            flush()
+            items: list[str] = []
+            while i < len(lines) and lines[i].startswith("- "):
+                item = [lines[i][2:]]
+                i += 1
+                while i < len(lines) and lines[i].startswith("  ") and lines[i].strip():
+                    item.append(lines[i].strip())
+                    i += 1
+                items.append(f"<li>{_inline(' '.join(item))}</li>")
+            out.append("<ul>" + "".join(items) + "</ul>")
+            continue
+        if not line.strip():
+            flush()
+            i += 1
+            continue
+        paragraph.append(line.strip())
+        i += 1
+    flush()
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# API reference generation
+# ---------------------------------------------------------------------------
+
+
+def iter_module_names() -> list[str]:
+    """All public ``repro`` modules, root first, in name order."""
+    import repro
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        short = info.name.rsplit(".", 1)[-1]
+        if short.startswith("_"):
+            continue
+        names.append(info.name)
+    return sorted(set(names))
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def build_api_page(builder: Builder, module_name: str) -> None:
+    module = importlib.import_module(module_name)
+    parts: list[str] = [f"<h1>{html.escape(module_name)}</h1>"]
+    moddoc = inspect.getdoc(module)
+    if not moddoc:
+        builder.warn(f"module {module_name} has no docstring")
+        moddoc = ""
+    parts.append(
+        f'<pre class="docstring module-doc">{html.escape(moddoc)}</pre>'
+    )
+    public = list(getattr(module, "__all__", []))
+    for name in public:
+        obj = getattr(module, name, None)
+        if obj is None:
+            builder.warn(f"{module_name}.__all__ names missing object {name!r}")
+            continue
+        if inspect.ismodule(obj):
+            continue
+        parts.append(f'<h3 id="{html.escape(name)}">{html.escape(name)}</h3>')
+        if inspect.isclass(obj) or callable(obj):
+            kind = "class" if inspect.isclass(obj) else "function"
+            signature = html.escape(f"{name}{_signature(obj)}")
+            parts.append(f'<div class="sig"><code>{kind} {signature}</code></div>')
+            doc = inspect.getdoc(obj)
+            if not doc:
+                builder.warn(f"{module_name}.{name} has no docstring")
+                doc = ""
+            parts.append(f'<pre class="docstring">{html.escape(doc)}</pre>')
+            if inspect.isclass(obj):
+                methods = [
+                    (mname, m)
+                    for mname, m in vars(obj).items()
+                    if not mname.startswith("_")
+                    and (callable(m) or isinstance(m, property))
+                ]
+                for mname, method in methods:
+                    target = method.fget if isinstance(method, property) else method
+                    mdoc = inspect.getdoc(target) or ""
+                    label = "property" if isinstance(method, property) else "method"
+                    sig = "" if isinstance(method, property) else html.escape(
+                        _signature(target)
+                    )
+                    parts.append(
+                        f'<div class="sig"><code>{label} '
+                        f"{html.escape(name)}.{html.escape(mname)}{sig}"
+                        "</code></div>"
+                    )
+                    parts.append(
+                        f'<pre class="docstring">{html.escape(mdoc)}</pre>'
+                    )
+        else:
+            value = html.escape(repr(obj))
+            if len(value) > 120:
+                value = value[:117] + "..."
+            parts.append(f'<div class="sig"><code>constant {html.escape(name)} = {value}</code></div>')
+            # Constants carry their documentation in the module source
+            # (``#:`` comments) and the module docstring; no warning.
+    builder.add_page(
+        f"api/{module_name}.html", module_name, "\n".join(parts)
+    )
+
+
+def build_api_index(builder: Builder, module_names: list[str]) -> None:
+    rows = ["<h1>API reference</h1>", "<ul>"]
+    for name in module_names:
+        module = importlib.import_module(name)
+        doc = inspect.getdoc(module) or ""
+        summary = html.escape(doc.splitlines()[0] if doc else "")
+        rows.append(
+            f'<li><a href="{name}.html"><code>{name}</code></a> '
+            f"&mdash; {summary}</li>"
+        )
+    rows.append("</ul>")
+    builder.add_page("api/index.html", "API reference", "\n".join(rows))
+
+
+# ---------------------------------------------------------------------------
+# Equation cross-index coverage
+# ---------------------------------------------------------------------------
+
+
+def core_public_callables() -> dict[str, list[str]]:
+    """``repro.core`` submodule -> its public callables (and classes)."""
+    import repro.core
+
+    result: dict[str, list[str]] = {}
+    for info in pkgutil.iter_modules(repro.core.__path__):
+        if info.name.startswith("_"):
+            continue
+        module = importlib.import_module(f"repro.core.{info.name}")
+        names = [
+            name
+            for name in getattr(module, "__all__", [])
+            if callable(getattr(module, name, None))
+        ]
+        if names:
+            result[f"repro.core.{info.name}"] = names
+    return result
+
+
+def check_equation_coverage(builder: Builder, equations_source: str) -> None:
+    """The cross-index must link every public ``repro.core`` callable.
+
+    Coverage is judged on links into the generated API reference
+    (``api/<module>.html#<name>``), so a covered entry is also a
+    *checked* link -- it cannot silently rot.
+    """
+    for module_name, names in core_public_callables().items():
+        for name in names:
+            needle = f"api/{module_name}.html#{name}"
+            if needle not in equations_source:
+                builder.warn(
+                    f"equations.md does not cover {module_name}.{name} "
+                    f"(expected a link to {needle})"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build(out_dir: pathlib.Path) -> Builder:
+    """Generate the full site into ``out_dir``; returns the builder."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    builder = Builder()
+
+    for page in PAGES:
+        source = (DOCS_DIR / page).read_text()
+        title_match = re.search(r"^#\s+(.+)$", source, re.MULTILINE)
+        title = title_match.group(1) if title_match else page
+        builder.add_page(
+            page.replace(".md", ".html"), title, markdown_to_html(source)
+        )
+        if page == "equations.md":
+            check_equation_coverage(builder, source)
+
+    module_names = iter_module_names()
+    for name in module_names:
+        build_api_page(builder, name)
+    build_api_index(builder, module_names)
+
+    builder.check_links()
+    builder.write(out_dir)
+    return builder
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(DOCS_DIR / "_site"),
+        help="output directory (default: docs/_site)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (broken links, missing docstrings, "
+        "cross-index gaps) as errors",
+    )
+    args = parser.parse_args(argv)
+    builder = build(pathlib.Path(args.out))
+    for warning in builder.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    print(
+        f"built {len(builder.pages)} pages into {args.out} "
+        f"({len(builder.warnings)} warnings)"
+    )
+    if args.strict and builder.warnings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

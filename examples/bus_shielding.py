@@ -1,0 +1,72 @@
+"""Shield insertion on a multi-bit bus: buying noise margin with tracks.
+
+An 8-bit bus on the 250 nm global layer at minimum pitch couples hard:
+the middle bit sees a glitch of tens of percent of the swing when its
+neighbors fire, and its 50% delay swings with the switching pattern.
+The classic fix is to spend wiring tracks on grounded *shields*: a
+shield intercepts the sidewall capacitance of its neighbors and gives
+their return currents a close loop, attacking both coupling mechanisms
+at once.
+
+This example builds the same bus with 0, 1 and 2 evenly spread shields
+(`repro.bus.BusSpec` / `repro.analysis.bus.shield_tradeoff`) and prints
+the trade-off curve: tracks spent vs victim noise and worst-pattern
+delay push-out.  Everything is measured by full MNA transient
+simulation of the complete structure -- shields are ordinary lines tied
+to ground, not a modeling shortcut.
+
+Run:  python examples/bus_shielding.py
+      REPRO_EXAMPLES_FAST=1 python examples/bus_shielding.py   (smoke mode)
+"""
+
+import os
+
+from repro.analysis.bus import shield_tradeoff
+from repro.experiments.shield_study import make_bus_spec
+from repro.units import format_si
+
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
+
+
+def main() -> None:
+    length = 8e-3
+    n_lines = 4 if FAST else 8
+    spec = make_bus_spec(
+        length=length,
+        n_lines=n_lines,
+        n_segments=8 if FAST else 16,
+    )
+    print(
+        f"{n_lines}-bit bus, {length * 1e3:.0f} mm on the 250nm global "
+        f"layer (Cc = {format_si(spec.cct, 'F')}/side, km = {spec.km:.2f}, "
+        "h=150 drivers)"
+    )
+    print(
+        f"{'shields':>8s} {'tracks':>7s} {'noise+':>8s} {'noise-':>8s} "
+        f"{'t50 solo':>9s} {'t50 even':>9s} {'t50 odd':>9s} {'push-out':>9s}"
+    )
+    # 1 and 3 shields both land a shield next to the middle victim; 2
+    # evenly spread shields on an 8-bit bus do NOT (see the note below).
+    shield_counts = (0, 1) if FAST else (0, 1, 2, 3)
+    for shielded, report in shield_tradeoff(spec, shield_counts=shield_counts):
+        print(
+            f"{report.n_shields:8d} {shielded.n_physical:7d} "
+            f"{100 * report.victim_peak_noise:7.1f}% "
+            f"{100 * report.victim_min_noise:7.1f}% "
+            f"{format_si(report.delay_solo, 's'):>9s} "
+            f"{format_si(report.delay_even, 's'):>9s} "
+            f"{format_si(report.delay_odd, 's'):>9s} "
+            f"{100 * report.delay_push_out:8.1f}%"
+        )
+
+    print("\nEach shield costs one track, and *placement* matters as much as")
+    print("count: 1 and 3 evenly spread shields flank the middle victim and")
+    print("buy most of its noise margin back, while 2 leave it unflanked --")
+    print("its direct aggressors stay adjacent and the inductive dip can")
+    print("even worsen.  A tightened switching window is what lets a")
+    print("crosstalk-aware repeater flow size its buffers closer to the")
+    print("single-line optimum (see EXP-X8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -57,13 +57,18 @@ from repro.core.penalty import (
     power_increase,
 )
 from repro.core.awe import awe_delay_50, awe_reduce
+from repro.bus import BusSpec, LineSwitch, build_bus_circuit
 from repro.core.repeater import (
     Buffer,
+    CoupledRepeaterSystem,
     RepeaterDesign,
     RepeaterSystem,
     bakoglu_rc_design,
+    coupled_line,
+    crosstalk_aware_design,
     error_factors,
     inductance_time_ratio,
+    miller_switch_factor,
     numerical_optimal_design,
     optimal_rlc_design,
     practical_design,
@@ -102,12 +107,20 @@ __all__ = [
     "Buffer",
     "RepeaterDesign",
     "RepeaterSystem",
+    "CoupledRepeaterSystem",
     "bakoglu_rc_design",
     "optimal_rlc_design",
     "numerical_optimal_design",
     "practical_design",
+    "crosstalk_aware_design",
+    "coupled_line",
+    "miller_switch_factor",
     "error_factors",
     "inductance_time_ratio",
+    # coupled buses
+    "BusSpec",
+    "LineSwitch",
+    "build_bus_circuit",
     "awe_reduce",
     "awe_delay_50",
     "rise_time_10_90",

@@ -6,6 +6,9 @@
   captures the five impedances (Fig. 2's "weak RT/CT dependence"),
 - :mod:`repro.analysis.merit`             -- when inductance matters: the
   length window criterion of the companion paper [8],
+- :mod:`repro.analysis.bus`               -- N-line bus crosstalk metrics
+  (victim noise, worst-pattern delay push-out, settling, shield-count
+  trade-off curves) over :mod:`repro.bus` structures,
 - :mod:`repro.analysis.comparison`        -- RC-vs-RLC repeater design
   comparison engine (model, simulation, area, power),
 - :mod:`repro.analysis.scaling_study`     -- penalties across technology
@@ -14,6 +17,15 @@
   each of the five impedances.
 """
 
+from repro.analysis.bus import (
+    BusReport,
+    BusWaveforms,
+    analyze_bus,
+    batch_delay_50,
+    evenly_spread_shields,
+    shield_tradeoff,
+    simulate_bus,
+)
 from repro.analysis.length_dependence import (
     delay_versus_length,
     fitted_length_exponent,
@@ -26,6 +38,13 @@ from repro.analysis.scaling_study import scaling_table
 from repro.analysis.sensitivity import delay_elasticities
 
 __all__ = [
+    "BusReport",
+    "BusWaveforms",
+    "analyze_bus",
+    "batch_delay_50",
+    "evenly_spread_shields",
+    "shield_tradeoff",
+    "simulate_bus",
     "delay_versus_length",
     "fitted_length_exponent",
     "rc_lc_crossover_length",

@@ -1,0 +1,153 @@
+"""Materialize a :class:`~repro.bus.spec.BusSpec` as a netlist.
+
+The generated circuit is ``n_physical`` parallel PI ladders (one per
+track, shields included) with distributed coupling capacitances and
+segmentwise mutual inductances between every coupled slot pair, all
+expressed with the primitive elements of :mod:`repro.spice.netlist` --
+so MNA assembly stays on the backend-neutral COO-triplet path and every
+:class:`~repro.spice.backend.SimulationBackend` (dense / sparse /
+banded) can serve the resulting system.
+
+Node naming (prefix ``P`` is :meth:`BusSpec.slot_prefix`, default
+``b{slot}_``): driver source node ``inP``, ladder nodes ``P0 .. Pn``,
+internal R-L split nodes ``xP1 .. xPn``.  The two-line wrapper in
+:mod:`repro.spice.coupled` overrides the prefixes to the legacy
+``a`` / ``v`` names.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bus.spec import BusSpec, LineSwitch
+from repro.errors import ParameterError
+from repro.spice.netlist import Circuit, Step
+
+__all__ = ["build_bus_circuit", "switch_waveform"]
+
+
+def switch_waveform(switch: LineSwitch | str, v_step: float = 1.0) -> Step:
+    """Driver waveform for one line's switching behaviour.
+
+    ``rise``/``fall`` are ideal steps at ``t = 0`` between 0 and
+    ``v_step``; ``quiet``/``high`` hold 0 / ``v_step`` throughout.
+    """
+    switch = LineSwitch(switch)
+    if switch is LineSwitch.RISE:
+        return Step(0.0, v_step)
+    if switch is LineSwitch.FALL:
+        return Step(v_step, 0.0)
+    if switch is LineSwitch.QUIET:
+        return Step(0.0, 0.0)
+    return Step(v_step, v_step)
+
+
+def _pi_weights(n: int) -> list[float]:
+    """Per-node PI capacitance weights: half segments at both ends."""
+    weights = [1.0] * (n + 1)
+    weights[0] = 0.5
+    weights[n] = 0.5
+    return weights
+
+
+def build_bus_circuit(
+    spec: BusSpec,
+    pattern=LineSwitch.RISE,
+    v_step: float = 1.0,
+    prefixes: Sequence[str] | None = None,
+    title: str | None = None,
+) -> Circuit:
+    """Build the coupled-bus netlist for one switching pattern.
+
+    Parameters
+    ----------
+    spec:
+        The bus instance (lines, coupling, shields).
+    pattern:
+        Per-signal-line switching behaviour: a sequence of
+        :class:`~repro.bus.spec.LineSwitch` (or their string values),
+        or a single switch broadcast to every line.  Defaults to the
+        even mode (all lines rise).
+    v_step:
+        Driver swing (V).
+    prefixes:
+        Optional per-physical-slot node-name prefixes (length
+        ``spec.n_physical``); defaults to ``b{slot}_``.  Used by the
+        legacy two-line wrapper to keep its historical ``a``/``v``
+        names.
+    title:
+        Circuit title override.
+    """
+    switches = spec.normalized_pattern(pattern)
+    n = spec.n_segments
+    n_physical = spec.n_physical
+    if prefixes is None:
+        prefixes = [spec.slot_prefix(slot) for slot in range(n_physical)]
+    else:
+        prefixes = list(prefixes)
+        if len(prefixes) != n_physical or len(set(prefixes)) != n_physical:
+            raise ParameterError(
+                f"prefixes must be {n_physical} distinct strings, "
+                f"got {prefixes!r}"
+            )
+    if title is None:
+        title = (
+            f"bus n_lines={spec.n_lines} shields={len(spec.shields)} "
+            f"n={n} (Cc={spec.cct:g}, km={spec.km:g}, "
+            f"pattern={'/'.join(s.value for s in switches)})"
+        )
+    ckt = Circuit(title)
+    weights = _pi_weights(n)
+    shield_set = set(spec.shields)
+
+    # Drivers first (legacy element order: sources, then ladders).
+    for line, slot in enumerate(spec.signal_slots):
+        p = prefixes[slot]
+        ckt.add_voltage_source(
+            f"vin{p}", f"in{p}", "0", switch_waveform(switches[line], v_step)
+        )
+        ckt.add_resistor(f"rtr{p}", f"in{p}", f"{p}0", spec.rtr[line])
+    for slot in sorted(shield_set):
+        p = prefixes[slot]
+        ckt.add_resistor(f"rsh{p}", f"{p}0", "0", spec.rtr_shield)
+
+    # Per-track PI ladders: series R-L branches, then shunt caps.
+    for slot in range(n_physical):
+        p = prefixes[slot]
+        rt, lt, _ = spec.slot_rlc(slot)
+        r_seg = rt / n
+        l_seg = lt / n
+        for i in range(n):
+            ckt.add_resistor(f"r{p}{i + 1}", f"{p}{i}", f"x{p}{i + 1}", r_seg)
+            ckt.add_inductor(f"l{p}{i + 1}", f"x{p}{i + 1}", f"{p}{i + 1}", l_seg)
+    for i, w in enumerate(weights):
+        for slot in range(n_physical):
+            p = prefixes[slot]
+            c_seg = spec.slot_rlc(slot)[2] / n
+            ckt.add_capacitor(f"cg{p}{i}", f"{p}{i}", "0", w * c_seg)
+
+    # Coupling: distributed caps with PI weights, segmentwise mutuals.
+    for slot_p, slot_q, cct_pq, km_pq in spec.coupling_terms():
+        p, q = prefixes[slot_p], prefixes[slot_q]
+        if cct_pq > 0.0:
+            cc_seg = cct_pq / n
+            for i, w in enumerate(weights):
+                ckt.add_capacitor(
+                    f"cc{p}{q}{i}", f"{p}{i}", f"{q}{i}", w * cc_seg
+                )
+        if km_pq > 0.0:
+            for i in range(1, n + 1):
+                ckt.add_mutual_inductance(
+                    f"k{p}{q}{i}", f"l{p}{i}", f"l{q}{i}", km_pq
+                )
+
+    # Loads and shield far-end ties.
+    for line, slot in enumerate(spec.signal_slots):
+        if spec.cl[line] > 0:
+            p = prefixes[slot]
+            ckt.add_capacitor(f"cl{p}", f"{p}{n}", "0", spec.cl[line])
+    if spec.shield_grounded_far:
+        for slot in sorted(shield_set):
+            p = prefixes[slot]
+            ckt.add_resistor(f"rshf{p}", f"{p}{n}", "0", spec.rtr_shield)
+    return ckt

@@ -25,11 +25,15 @@ from repro.core.delay import (
 )
 from repro.core.repeater import (
     Buffer,
+    CoupledRepeaterSystem,
     RepeaterDesign,
     RepeaterSystem,
     bakoglu_rc_design,
+    coupled_line,
+    crosstalk_aware_design,
     error_factors,
     inductance_time_ratio,
+    miller_switch_factor,
     optimal_rlc_design,
     numerical_optimal_design,
 )
@@ -50,9 +54,13 @@ __all__ = [
     "Buffer",
     "RepeaterDesign",
     "RepeaterSystem",
+    "CoupledRepeaterSystem",
     "bakoglu_rc_design",
     "optimal_rlc_design",
     "numerical_optimal_design",
+    "crosstalk_aware_design",
+    "coupled_line",
+    "miller_switch_factor",
     "error_factors",
     "inductance_time_ratio",
     "delay_increase_closed_form",

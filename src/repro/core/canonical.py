@@ -44,7 +44,12 @@ __all__ = ["DriverLineLoad", "omega_n", "zeta", "zeta_from_ratios"]
 
 
 def omega_n(lt: float, ct: float, cl: float = 0.0) -> float:
-    """Natural angular frequency ``1 / sqrt(Lt * (Ct + CL))`` (eq. 3)."""
+    """Natural angular frequency ``1 / sqrt(Lt * (Ct + CL))`` (eq. 3).
+
+    ``lt`` in henries, ``ct``/``cl`` in farads; result in rad/s.  This
+    is the time scale that collapses eq. 9 to a function of ``zeta``
+    alone.
+    """
     require_positive("lt", lt)
     require_positive("ct", ct)
     require_nonnegative("cl", cl)
@@ -73,10 +78,13 @@ def zeta(
 ) -> float:
     """Damping factor of the driver/line/load system (eq. 6).
 
-    ``zeta < 1`` indicates an underdamped (inductance-dominated) response
-    with overshoot; large ``zeta`` recovers RC behaviour.  The arithmetic
-    (including the ``rt == 0`` limit, where ``RT = Rtr/Rt`` diverges but
-    ``Rt*RT = Rtr`` stays finite) lives in
+    Dimensionless; inputs SI (``rt``/``rtr`` in ohm, ``lt`` in H,
+    ``ct``/``cl`` in F).  ``zeta < 1`` indicates an underdamped
+    (inductance-dominated) response with overshoot; large ``zeta``
+    recovers RC behaviour.  As the single parameter of eq. 9 it is
+    meaningful wherever that fit is (``RT, CT`` in ``[0, 1]``).  The
+    arithmetic (including the ``rt == 0`` limit, where ``RT = Rtr/Rt``
+    diverges but ``Rt*RT = Rtr`` stays finite) lives in
     :func:`repro.sweep.kernels.batch_zeta` so the scalar path and the
     batch sweep path share one implementation.
     """

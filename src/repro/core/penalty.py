@@ -46,11 +46,13 @@ __all__ = [
 def delay_increase_closed_form(tlr):
     """Percent total-delay increase from RC-based insertion (eq. 17).
 
-    ``%increase = 30*T / (0.5 + T + 23*exp(-0.48*T) + 10*exp(-4*T))``.
-    Zero at ``T = 0``, saturating at 30% for large ``T``; ~10/20/28% at
-    ``T = 3/5/10`` (the paper rounds the last to 30%).  Accepts arrays;
-    the computation is
-    :func:`repro.sweep.kernels.batch_delay_increase_percent`.
+    ``%increase = 30*T / (0.5 + T + 23*exp(-0.48*T) + 10*exp(-4*T))``
+    with ``T`` the dimensionless ``T_{L/R}`` of eq. 13 (>= 0); the
+    result is a percentage.  Zero at ``T = 0``, saturating at 30% for
+    large ``T``; ~10/20/28% at ``T = 3/5/10`` (the paper rounds the
+    last to 30%).  The fit tracks the eq. 16 evaluation over the
+    Fig. 5 range (``T`` up to ~10).  Accepts arrays; the computation
+    is :func:`repro.sweep.kernels.batch_delay_increase_percent`.
     """
     from repro.sweep.kernels import batch_delay_increase_percent
 
@@ -91,10 +93,12 @@ def delay_increase_numerical(tlr: float, use_numerical_optimum: bool = False) ->
 def area_increase_closed_form(tlr):
     """Percent repeater-area increase from RC-based insertion (eq. 18).
 
-    ``%AI = 100 * ((1 + 0.18*T**3)**0.3 * (1 + 0.16*T**3)**0.24 - 1)``:
-    the exact consequence of eqs. 14/15, since ``A_RC / A_RLC =
-    1 / (h' * k')``.  154% at ``T = 3``, 435% at ``T = 5``.  Accepts
-    arrays; the computation is
+    ``%AI = 100 * ((1 + 0.18*T**3)**0.3 * (1 + 0.16*T**3)**0.24 - 1)``
+    with ``T`` the dimensionless ``T_{L/R}`` of eq. 13 (>= 0); the
+    result is a percentage.  The exact consequence of eqs. 14/15,
+    since ``A_RC / A_RLC = 1 / (h' * k')``; valid wherever those fits
+    are (``T`` up to ~7, Fig. 4).  154% at ``T = 3``, 435% at
+    ``T = 5``.  Accepts arrays; the computation is
     :func:`repro.sweep.kernels.batch_area_increase_percent`.
     """
     from repro.sweep.kernels import batch_area_increase_percent

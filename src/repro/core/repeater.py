@@ -49,6 +49,7 @@ __all__ = [
     "Buffer",
     "RepeaterDesign",
     "RepeaterSystem",
+    "CoupledRepeaterSystem",
     "inductance_time_ratio",
     "bakoglu_rc_design",
     "error_factors",
@@ -57,6 +58,10 @@ __all__ = [
     "numerical_error_factors",
     "practical_design",
     "normalized_system",
+    "MILLER_SWITCH_FACTORS",
+    "miller_switch_factor",
+    "coupled_line",
+    "crosstalk_aware_design",
 ]
 
 # Fitted constants of eqs. 14 and 15.
@@ -166,8 +171,13 @@ def bakoglu_rc_design(line: DriverLineLoad, buffer: Buffer) -> RepeaterDesign:
 def error_factors(tlr) -> tuple:
     """``(h', k')`` -- the inductance derating factors (eqs. 14, 15).
 
-    Both approach 1 as ``T_{L/R} -> 0`` (RC limit) and decay towards 0 as
-    inductance dominates.  Accepts scalars or arrays; the computation is
+    ``tlr`` is the dimensionless ``T_{L/R}`` of eq. 13 (>= 0); both
+    factors are dimensionless multipliers on Bakoglu's eq. 11 optimum.
+    They approach 1 as ``T_{L/R} -> 0`` (RC limit) and decay towards 0
+    as inductance dominates; the paper's Fig. 4 vets the fits over
+    ``T_{L/R}`` in ``[0, ~7]`` to within a few percent in ``h``/``k``
+    (EXP-F4 reproduces the comparison).  Accepts scalars or arrays;
+    the computation is
     :func:`repro.sweep.kernels.batch_error_factors`.
     """
     from repro.sweep.kernels import batch_error_factors
@@ -385,6 +395,184 @@ def practical_design(
             best, best_delay = design, delay
     assert best is not None
     return best
+
+
+# ---------------------------------------------------------------------------
+# Crosstalk-aware repeater insertion (bus extension)
+# ---------------------------------------------------------------------------
+
+#: Switching pattern -> effective coupling-capacitance multiplier (the
+#: Miller factor): ``even`` neighbors track the victim (no charge moves
+#: across ``Cc``), ``quiet`` neighbors present ``Cc`` at face value,
+#: ``odd`` neighbors double the swing across it.
+MILLER_SWITCH_FACTORS = {"even": 0.0, "quiet": 1.0, "odd": 2.0}
+
+
+def miller_switch_factor(pattern) -> float:
+    """Effective coupling-capacitance multiplier of a switching pattern.
+
+    Parameters
+    ----------
+    pattern:
+        ``"even"`` / ``"quiet"`` / ``"odd"`` (string or enum with a
+        matching ``value``), or a number already expressing the factor
+        (returned validated: must be finite and >= 0).
+
+    The classic bounding factors on an RC-coupled bus: 0 when the
+    neighbors switch with the line (even mode), 1 when they hold still,
+    2 when they switch against it (odd mode, the Miller worst case).
+    Intermediate values model partial switching-window overlap.
+    """
+    if isinstance(pattern, (int, float)) and not isinstance(pattern, bool):
+        return require_nonnegative("switch_factor", pattern)
+    key = getattr(pattern, "value", pattern)
+    try:
+        return MILLER_SWITCH_FACTORS[str(key)]
+    except KeyError:
+        known = ", ".join(sorted(MILLER_SWITCH_FACTORS))
+        raise ParameterError(
+            f"unknown switching pattern {pattern!r}; known: {known} "
+            "(or a numeric factor)"
+        ) from None
+
+
+def coupled_line(
+    line: DriverLineLoad,
+    cct: float,
+    switch_factor=2.0,
+    n_neighbors: float = 2.0,
+) -> DriverLineLoad:
+    """The single-line equivalent of one bus bit under a given pattern.
+
+    Replaces the line's ground capacitance with the switch-dependent
+    effective capacitance
+
+        ``Ct_eff = Ct + n_neighbors * switch_factor * Cct``
+
+    where ``Cct`` is the per-neighbor coupling capacitance (F, line
+    total) and ``switch_factor`` the Miller factor of the neighbors'
+    switching pattern (:func:`miller_switch_factor`).  Inductance is
+    left as the self value: to first order the neighbors' mutual
+    contribution shifts the *loop* inductance symmetrically
+    (``L*(1 +/- km)``) and does not enter the single-parameter
+    eq. 6/9 model; the bus simulations in :mod:`repro.analysis.bus`
+    capture the full effect.
+    """
+    require_nonnegative("cct", cct)
+    factor = miller_switch_factor(switch_factor)
+    n_neighbors = require_nonnegative("n_neighbors", n_neighbors)
+    return replace(line, ct=line.ct + n_neighbors * factor * cct)
+
+
+def crosstalk_aware_design(
+    line: DriverLineLoad,
+    buffer: Buffer,
+    cct: float,
+    switch_factor=2.0,
+    n_neighbors: float = 2.0,
+) -> RepeaterDesign:
+    """Re-optimize ``(h, k)`` under switch-dependent effective capacitance.
+
+    The paper's closed-form repeater optimum (eqs. 14, 15) applied to
+    the :func:`coupled_line` equivalent: the coupling capacitance
+    inflates ``Ct`` (raising both ``h_rc`` and ``k_rc`` of eq. 11)
+    while ``T_{L/R} = (Lt/Rt)/(R0*C0)`` (eq. 13) is unchanged, so the
+    inductance derating factors ``h'``/``k'`` are the single-line ones.
+    With ``switch_factor=2`` (the default) the design guards the odd
+    worst case; ``0`` recovers the single-line optimum exactly.
+
+    The arithmetic lives in
+    :func:`repro.sweep.kernels.batch_crosstalk_aware_design` so scalar
+    and batch callers share one implementation.
+    """
+    from repro.sweep.kernels import batch_crosstalk_aware_design
+
+    h, k = batch_crosstalk_aware_design(
+        line.rt,
+        line.lt,
+        line.ct,
+        cct,
+        buffer.r0,
+        buffer.c0,
+        switch_factor=miller_switch_factor(switch_factor),
+        n_neighbors=n_neighbors,
+    )
+    return RepeaterDesign(h=float(h), k=float(k))
+
+
+@dataclass(frozen=True)
+class CoupledRepeaterSystem:
+    """A repeated bus bit: per-line interconnect plus neighbor coupling.
+
+    Wraps :class:`RepeaterSystem` with the switch-pattern-dependent
+    effective capacitance, so one object answers both "what is the
+    best (h, k) for this bus bit?" and "what does a given design cost
+    under each switching pattern?".
+
+    Attributes
+    ----------
+    line:
+        Per-bit interconnect totals (self parasitics only).
+    buffer:
+        The repeater family.
+    cct:
+        Per-neighbor coupling capacitance (F, line total).
+    n_neighbors:
+        Coupled neighbors per bit (2 for interior bus bits, 1 for edge
+        bits or a shielded side).
+
+    Examples
+    --------
+    >>> line = DriverLineLoad(rt=100.0, lt=1e-8, ct=2e-12)
+    >>> buffer = Buffer(r0=1000.0, c0=1e-14)
+    >>> bus_bit = CoupledRepeaterSystem(line, buffer, cct=1e-12)
+    >>> worst = bus_bit.design()          # guards the odd pattern
+    >>> solo = optimal_rlc_design(line, buffer)
+    >>> worst.h > solo.h and worst.k > solo.k
+    True
+    """
+
+    line: DriverLineLoad
+    buffer: Buffer
+    cct: float
+    n_neighbors: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative("cct", self.cct)
+        require_nonnegative("n_neighbors", self.n_neighbors)
+        if self.line.rt <= 0:
+            raise ParameterError(
+                "CoupledRepeaterSystem requires a resistive line (rt > 0)"
+            )
+
+    def effective_line(self, switch_factor=2.0) -> DriverLineLoad:
+        """The pattern's single-line equivalent (:func:`coupled_line`)."""
+        return coupled_line(
+            self.line, self.cct, switch_factor, self.n_neighbors
+        )
+
+    def system(self, switch_factor=2.0) -> RepeaterSystem:
+        """A :class:`RepeaterSystem` over the effective line."""
+        return RepeaterSystem(self.effective_line(switch_factor), self.buffer)
+
+    def design(self, switch_factor=2.0) -> RepeaterDesign:
+        """The closed-form optimum for a pattern (default: odd worst case)."""
+        return crosstalk_aware_design(
+            self.line, self.buffer, self.cct, switch_factor, self.n_neighbors
+        )
+
+    def total_delay(self, design: RepeaterDesign, switch_factor=2.0) -> float:
+        """Model-based bit delay of ``design`` under a pattern (eq. 19)."""
+        return self.system(switch_factor).total_delay(design)
+
+    def worst_case_penalty(self, design: RepeaterDesign) -> float:
+        """Percent odd-pattern delay increase of ``design`` over the
+        crosstalk-aware optimum -- the cost of sizing a bus bit as if it
+        ran alone."""
+        aware = self.design(switch_factor=2.0)
+        t_design = self.total_delay(design, switch_factor=2.0)
+        t_aware = self.total_delay(aware, switch_factor=2.0)
+        return 100.0 * (t_design - t_aware) / t_aware
 
 
 def normalized_system(tlr: float) -> tuple[DriverLineLoad, Buffer]:

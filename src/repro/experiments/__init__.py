@@ -10,6 +10,7 @@ The registry below maps DESIGN.md experiment ids to their drivers.
 
 from repro.experiments import (
     ablation,
+    bus_repeater_study,
     crosstalk_study,
     eq17,
     eq18,
@@ -18,6 +19,7 @@ from repro.experiments import (
     length_dependence,
     refit,
     scaling,
+    shield_study,
     table1,
     zeta_collapse,
 )
@@ -36,6 +38,8 @@ REGISTRY = {
     "EXP-X4": scaling,
     "EXP-X5": refit,
     "EXP-X6": crosstalk_study,
+    "EXP-X7": shield_study,
+    "EXP-X8": bus_repeater_study,
 }
 
 __all__ = ["REGISTRY", "ExperimentTable", "render_table"]

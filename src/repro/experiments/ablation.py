@@ -93,6 +93,7 @@ def run(
 
 
 def main() -> None:
+    """Render the EXP-X3 model-term ablation table."""
     print(render_table(run()))
 
 

@@ -92,6 +92,7 @@ def run(
 
 
 def main() -> None:
+    """Render the EXP-X6 coupled-pair crosstalk table."""
     print(render_table(run()))
 
 

@@ -91,6 +91,7 @@ def run(tlr_values=None, simulate: bool = True) -> ExperimentTable:
 
 
 def main() -> None:
+    """Render the EXP-E17 delay-penalty table."""
     print(render_table(run()))
 
 

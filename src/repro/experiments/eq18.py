@@ -66,6 +66,7 @@ def run(tlr_values=None) -> ExperimentTable:
 
 
 def main() -> None:
+    """Render the EXP-E18 area-penalty table."""
     print(render_table(run()))
 
 

@@ -104,6 +104,7 @@ def run(
 
 
 def main() -> None:
+    """Render the EXP-F2 scaled-delay-vs-zeta table."""
     print(render_table(run()))
 
 

@@ -61,6 +61,7 @@ def run(tlr_values=None) -> ExperimentTable:
 
 
 def main() -> None:
+    """Render the EXP-F4 error-factor table."""
     print(render_table(run()))
 
 

@@ -83,6 +83,7 @@ def run(
 
 
 def main() -> None:
+    """Render the EXP-X1 delay-vs-length table."""
     print(render_table(run()))
 
 

@@ -132,6 +132,7 @@ def run() -> ExperimentTable:
 
 
 def main() -> None:
+    """Render the EXP-X5 refit table."""
     print(render_table(run()))
 
 

@@ -43,6 +43,7 @@ def run(layer: str = "global") -> ExperimentTable:
 
 
 def main() -> None:
+    """Render the EXP-X4 technology-scaling table."""
     print(render_table(run()))
 
 

@@ -85,6 +85,7 @@ def run(
 
 
 def main() -> None:
+    """Render the EXP-T1 delay-comparison table."""
     print(render_table(run()))
 
 

@@ -64,6 +64,7 @@ def run(
 
 
 def main() -> None:
+    """Render the EXP-X2 zeta-collapse table."""
     print(render_table(run()))
 
 

@@ -3,11 +3,17 @@
 The natural companion workload to the paper: the same wide upper-metal
 wires whose *self*-inductance breaks RC delay models also couple to
 their neighbors capacitively (sidewall capacitance ``Ccm``) and
-magnetically (mutual inductance, coefficient ``km``).  This module
-builds a two-conductor version of the PI ladder of
-:mod:`repro.spice.ladder`: two identical lines, segment-by-segment
-coupling caps and mutual inductances, each line driven through its own
-gate resistance.
+magnetically (mutual inductance, coefficient ``km``).
+
+Since the introduction of :mod:`repro.bus` this module is a thin
+two-line special case of the general N-line bus builder:
+:func:`build_coupled_ladder_circuit` translates the historical
+:class:`CoupledLadderSpec` / :class:`VictimMode` API into a
+:class:`~repro.bus.spec.BusSpec` plus a two-entry switching pattern and
+delegates to :func:`~repro.bus.builder.build_bus_circuit`, keeping the
+legacy ``a``/``v`` node names (``tests/test_bus.py`` pins the two paths
+to <= 1e-9 relative state agreement against a frozen reference
+netlist).
 
 Used by :mod:`repro.analysis.crosstalk` for noise and switching-delay
 studies, and exercised end-to-end in ``examples/crosstalk.py``.
@@ -18,8 +24,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.bus.builder import build_bus_circuit
+from repro.bus.spec import BusSpec, LineSwitch
 from repro.errors import ParameterError, require_nonnegative, require_positive
-from repro.spice.netlist import Circuit, Step
+from repro.spice.netlist import Circuit
 
 __all__ = ["VictimMode", "CoupledLadderSpec", "build_coupled_ladder_circuit"]
 
@@ -90,13 +98,27 @@ class CoupledLadderSpec:
         """Far-end node name of the victim line."""
         return f"v{self.n_segments}"
 
+    def as_bus_spec(self) -> BusSpec:
+        """This coupled pair as a two-line :class:`~repro.bus.spec.BusSpec`."""
+        return BusSpec(
+            n_lines=2,
+            rt=self.rt,
+            lt=self.lt,
+            ct=self.ct,
+            cct=self.cct,
+            km=self.km,
+            rtr=(self.rtr_aggressor, self.rtr_victim),
+            cl=self.cl,
+            n_segments=self.n_segments,
+        )
 
-def _pi_weights(n: int) -> list[float]:
-    """Per-node PI capacitance weights: half segments at both ends."""
-    weights = [1.0] * (n + 1)
-    weights[0] = 0.5
-    weights[n] = 0.5
-    return weights
+
+#: Victim behaviour -> per-line bus switching pattern (aggressor rises).
+_MODE_PATTERNS = {
+    VictimMode.QUIET: (LineSwitch.RISE, LineSwitch.QUIET),
+    VictimMode.EVEN: (LineSwitch.RISE, LineSwitch.RISE),
+    VictimMode.ODD: (LineSwitch.RISE, LineSwitch.FALL),
+}
 
 
 def build_coupled_ladder_circuit(
@@ -108,50 +130,18 @@ def build_coupled_ladder_circuit(
 
     The aggressor driver always fires a rising step at ``t = 0``; the
     victim driver holds low (``quiet``), fires the same step (``even``)
-    or a falling step from ``v_step`` (``odd``).
+    or a falling step from ``v_step`` (``odd``).  The netlist itself is
+    produced by the N-line bus builder with the legacy ``a``/``v`` node
+    prefixes.
     """
     mode = VictimMode(mode)
-    n = spec.n_segments
-    ckt = Circuit(
-        f"coupled pair n={n} (Cc={spec.cct:g}, km={spec.km:g}, {mode.value})"
+    return build_bus_circuit(
+        spec.as_bus_spec(),
+        pattern=_MODE_PATTERNS[mode],
+        v_step=v_step,
+        prefixes=("a", "v"),
+        title=(
+            f"coupled pair n={spec.n_segments} "
+            f"(Cc={spec.cct:g}, km={spec.km:g}, {mode.value})"
+        ),
     )
-
-    ckt.add_voltage_source("vina", "ina", "0", Step(0.0, v_step))
-    ckt.add_resistor("rtra", "ina", "a0", spec.rtr_aggressor)
-    if mode is VictimMode.QUIET:
-        victim_wave = Step(0.0, 0.0)
-    elif mode is VictimMode.EVEN:
-        victim_wave = Step(0.0, v_step)
-    else:
-        victim_wave = Step(v_step, 0.0)
-    ckt.add_voltage_source("vinv", "inv", "0", victim_wave)
-    ckt.add_resistor("rtrv", "inv", "v0", spec.rtr_victim)
-
-    r_seg = spec.rt / n
-    l_seg = spec.lt / n
-    c_seg = spec.ct / n
-    cc_seg = spec.cct / n
-
-    for prefix in ("a", "v"):
-        for i in range(n):
-            ckt.add_resistor(
-                f"r{prefix}{i + 1}", f"{prefix}{i}", f"x{prefix}{i + 1}", r_seg
-            )
-            ckt.add_inductor(
-                f"l{prefix}{i + 1}", f"x{prefix}{i + 1}", f"{prefix}{i + 1}", l_seg
-            )
-
-    weights = _pi_weights(n)
-    for i, w in enumerate(weights):
-        for prefix in ("a", "v"):
-            ckt.add_capacitor(f"cg{prefix}{i}", f"{prefix}{i}", "0", w * c_seg)
-        if spec.cct > 0:
-            ckt.add_capacitor(f"cc{i}", f"a{i}", f"v{i}", w * cc_seg)
-    if spec.cl > 0:
-        ckt.add_capacitor("cla", spec.aggressor_output, "0", spec.cl)
-        ckt.add_capacitor("clv", spec.victim_output, "0", spec.cl)
-
-    if spec.km > 0:
-        for i in range(1, n + 1):
-            ckt.add_mutual_inductance(f"k{i}", f"la{i}", f"lv{i}", spec.km)
-    return ckt

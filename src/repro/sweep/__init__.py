@@ -39,7 +39,9 @@ from repro.sweep.grid import Axis, ParameterGrid, Sweep
 from repro.sweep.kernels import (
     batch_area_increase_percent,
     batch_bakoglu_rc_design,
+    batch_crosstalk_aware_design,
     batch_delay_increase_percent,
+    batch_effective_capacitance,
     batch_error_factors,
     batch_inductance_time_ratio,
     batch_lc_limit_delay,
@@ -80,6 +82,8 @@ __all__ = [
     "batch_inductance_time_ratio",
     "batch_bakoglu_rc_design",
     "batch_optimal_rlc_design",
+    "batch_effective_capacitance",
+    "batch_crosstalk_aware_design",
     "batch_delay_increase_percent",
     "batch_area_increase_percent",
     "batch_lt_for_zeta",

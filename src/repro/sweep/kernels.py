@@ -59,6 +59,8 @@ __all__ = [
     "batch_inductance_time_ratio",
     "batch_bakoglu_rc_design",
     "batch_optimal_rlc_design",
+    "batch_effective_capacitance",
+    "batch_crosstalk_aware_design",
     "batch_delay_increase_percent",
     "batch_area_increase_percent",
     "batch_lt_for_zeta",
@@ -101,7 +103,10 @@ def _checked_scalar(name: str, value, *, positive: bool = False) -> float:
 
 
 def batch_omega_n(lt, ct, cl=0.0):
-    """Natural angular frequency ``1 / sqrt(Lt * (Ct + CL))`` (eq. 3)."""
+    """Natural angular frequency ``1 / sqrt(Lt * (Ct + CL))`` (eq. 3).
+
+    ``lt`` in henries, ``ct``/``cl`` in farads; result in rad/s.
+    """
     if _all_scalar(lt, ct, cl):
         lt = _checked_scalar("lt", lt, positive=True)
         ct = _checked_scalar("ct", ct, positive=True)
@@ -166,8 +171,11 @@ def batch_zeta(rt, lt, ct, rtr=0.0, cl=0.0):
 def batch_scaled_delay(zeta):
     """Dimensionless 50% delay ``t'_pd(zeta)`` (eq. 9).
 
-    The scalar branch uses the NumPy *scalar* ufuncs for ``exp`` and
-    ``**`` so it tracks the array branch to the last few ULP.
+    ``zeta`` dimensionless and >= 0; the result is in units of
+    ``1/omega_n``.  The fit holds to ~5% for ``RT, CT`` in ``[0, 1]``
+    across all damping regimes.  The scalar branch uses the NumPy
+    *scalar* ufuncs for ``exp`` and ``**`` so it tracks the array
+    branch to the last few ULP.
     """
     if isinstance(zeta, (int, float)):
         z = float(zeta)
@@ -237,7 +245,13 @@ def batch_time_of_flight(lt, ct):
 
 
 def batch_error_factors(tlr) -> tuple:
-    """``(h', k')`` -- the inductance derating factors (eqs. 14, 15)."""
+    """``(h', k')`` -- the inductance derating factors (eqs. 14, 15).
+
+    ``tlr`` is the dimensionless ``T_{L/R}`` of eq. 13 (>= 0); both
+    outputs are dimensionless multipliers on the eq. 11 RC optimum,
+    vetted against the numerical optimum over ``T_{L/R}`` in
+    ``[0, ~7]`` (Fig. 4 / EXP-F4).
+    """
     if isinstance(tlr, (int, float)):
         t = float(tlr)
         if t < 0 or not math.isfinite(t):
@@ -282,6 +296,49 @@ def batch_bakoglu_rc_design(rt, ct, r0, c0) -> tuple[np.ndarray, np.ndarray]:
 def batch_optimal_rlc_design(rt, lt, ct, r0, c0) -> tuple[np.ndarray, np.ndarray]:
     """The paper's closed-form RLC repeater optimum (eqs. 14, 15)."""
     h_rc, k_rc = batch_bakoglu_rc_design(rt, ct, r0, c0)
+    h_prime, k_prime = batch_error_factors(
+        batch_inductance_time_ratio(rt, lt, r0, c0)
+    )
+    return h_rc * h_prime, k_rc * k_prime
+
+
+def batch_effective_capacitance(ct, cct, switch_factor=2.0, n_neighbors=2.0):
+    """Switch-pattern-dependent effective line capacitance (F).
+
+    ``Ct_eff = Ct + n_neighbors * switch_factor * Cct``: the coupling
+    capacitance to each of ``n_neighbors`` adjacent bus lines counts
+    with the Miller factor of their switching pattern (0 even, 1 quiet,
+    2 odd; see :func:`repro.core.repeater.miller_switch_factor`).
+    All quantities in SI units; scalars or broadcastable arrays.
+    """
+    if _all_scalar(ct, cct, switch_factor, n_neighbors):
+        ct = _checked_scalar("ct", ct, positive=True)
+        cct = _checked_scalar("cct", cct)
+        switch_factor = _checked_scalar("switch_factor", switch_factor)
+        n_neighbors = _checked_scalar("n_neighbors", n_neighbors)
+        return ct + n_neighbors * switch_factor * cct
+    ct = _validated("ct", ct, positive=True)
+    cct = _validated("cct", cct)
+    switch_factor = _validated("switch_factor", switch_factor)
+    n_neighbors = _validated("n_neighbors", n_neighbors)
+    return ct + n_neighbors * switch_factor * cct
+
+
+def batch_crosstalk_aware_design(
+    rt, lt, ct, cct, r0, c0, switch_factor=2.0, n_neighbors=2.0
+) -> tuple:
+    """Crosstalk-aware ``(h, k)`` repeater optimum for a coupled bus bit.
+
+    Applies the paper's closed-form RLC optimum (eqs. 14, 15) to the
+    effective capacitance of :func:`batch_effective_capacitance`: the
+    Bakoglu base point (eq. 11) sees the inflated ``Ct_eff`` while the
+    inductance derating ``T_{L/R} = (Lt/Rt)/(R0*C0)`` (eq. 13) keeps the
+    self values only.  ``switch_factor = 0`` reduces exactly to
+    :func:`batch_optimal_rlc_design`.  All SI units; scalars or
+    broadcastable arrays.
+    """
+    ct_eff = batch_effective_capacitance(ct, cct, switch_factor, n_neighbors)
+    h_rc, k_rc = batch_bakoglu_rc_design(rt, ct_eff, r0, c0)
     h_prime, k_prime = batch_error_factors(
         batch_inductance_time_ratio(rt, lt, r0, c0)
     )

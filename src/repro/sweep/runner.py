@@ -164,6 +164,33 @@ QUANTITIES: dict[str, Quantity] = {
             ),
         ),
         Quantity(
+            "effective_capacitance",
+            inputs=("ct", "cct", "switch_factor", "n_neighbors"),
+            outputs=("ct_eff",),
+            fn=lambda v: (
+                kernels.batch_effective_capacitance(
+                    v["ct"], v["cct"], v["switch_factor"], v["n_neighbors"]
+                ),
+            ),
+            defaults=(("switch_factor", 2.0), ("n_neighbors", 2.0)),
+        ),
+        Quantity(
+            "crosstalk_aware_design",
+            inputs=("rt", "lt", "ct", "cct", "r0", "c0", "switch_factor", "n_neighbors"),
+            outputs=("h", "k"),
+            fn=lambda v: kernels.batch_crosstalk_aware_design(
+                v["rt"],
+                v["lt"],
+                v["ct"],
+                v["cct"],
+                v["r0"],
+                v["c0"],
+                v["switch_factor"],
+                v["n_neighbors"],
+            ),
+            defaults=(("switch_factor", 2.0), ("n_neighbors", 2.0)),
+        ),
+        Quantity(
             "delay_increase_percent",
             inputs=("tlr",),
             outputs=("delay_increase_percent",),
@@ -698,6 +725,10 @@ def _resolve_inputs(sweep: Sweep, quantity: Quantity):
         _merge_derived(
             available, derived, _resolve_zeta_construction(available), "zeta"
         )
+    if "pattern" in available and "switch_factor" in quantity.inputs:
+        _merge_derived(
+            available, derived, _resolve_pattern(available), "pattern"
+        )
     if "tlr" in quantity.inputs and "tlr" not in available and all(
         name in available for name in ("rt", "lt", "r0", "c0")
     ):
@@ -770,6 +801,28 @@ def _resolve_node(available: dict, quantity: Quantity) -> dict:
             f"resolve the line impedances for {quantity.name!r}"
         )
     return derived
+
+
+def _resolve_pattern(available: dict) -> dict:
+    """Expand a ``pattern`` axis into the Miller ``switch_factor``.
+
+    Maps the neighbor-switching pattern names ``even`` / ``quiet`` /
+    ``odd`` to their coupling-capacitance multipliers 0 / 1 / 2
+    (:data:`repro.core.repeater.MILLER_SWITCH_FACTORS`), so bus
+    repeater sweeps can use the designer's vocabulary directly::
+
+        --axis pattern=even,quiet,odd
+    """
+    from repro.core.repeater import miller_switch_factor
+
+    names = np.atleast_1d(np.asarray(available["pattern"]))
+    factors = np.array(
+        [
+            miller_switch_factor(n.item() if isinstance(n, np.generic) else n)
+            for n in names
+        ]
+    )
+    return {"switch_factor": factors}
 
 
 def _resolve_zeta_construction(available: dict) -> dict:

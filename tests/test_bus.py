@@ -1,0 +1,402 @@
+"""Tests for the N-line coupled bus subsystem (repro.bus)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bus import (
+    analyze_bus,
+    batch_delay_50,
+    evenly_spread_shields,
+    shield_tradeoff,
+    simulate_bus,
+)
+from repro.bus import (
+    BusSpec,
+    LineSwitch,
+    build_bus_circuit,
+    even_pattern,
+    odd_pattern,
+    quiet_victim_pattern,
+    solo_pattern,
+)
+from repro.errors import ParameterError
+from repro.spice.coupled import (
+    CoupledLadderSpec,
+    VictimMode,
+    build_coupled_ladder_circuit,
+)
+from repro.spice.netlist import Circuit, Step
+from repro.spice.transient import simulate_transient
+
+SPEC3 = dict(
+    rt=100.0, lt=25e-9, ct=2e-12, cct=1e-12, km=0.5,
+    rtr=50.0, cl=5e-14, n_segments=6,
+)
+
+
+class TestPatterns:
+    def test_even(self):
+        assert even_pattern(3) == (LineSwitch.RISE,) * 3
+
+    def test_odd(self):
+        assert odd_pattern(3, 1) == (
+            LineSwitch.FALL, LineSwitch.RISE, LineSwitch.FALL,
+        )
+
+    def test_quiet_victim(self):
+        assert quiet_victim_pattern(3, 0) == (
+            LineSwitch.QUIET, LineSwitch.RISE, LineSwitch.RISE,
+        )
+
+    def test_solo(self):
+        assert solo_pattern(3, 2) == (
+            LineSwitch.QUIET, LineSwitch.QUIET, LineSwitch.RISE,
+        )
+
+    def test_bad_victim_index(self):
+        with pytest.raises(ParameterError):
+            odd_pattern(3, 3)
+        with pytest.raises(ParameterError):
+            quiet_victim_pattern(3, -1)
+
+    def test_normalize_broadcast_and_strings(self):
+        spec = BusSpec(n_lines=2, **SPEC3)
+        assert spec.normalized_pattern("rise") == (LineSwitch.RISE,) * 2
+        assert spec.normalized_pattern(("fall", LineSwitch.HIGH)) == (
+            LineSwitch.FALL, LineSwitch.HIGH,
+        )
+
+    def test_normalize_rejects_bad_entries(self):
+        spec = BusSpec(n_lines=2, **SPEC3)
+        with pytest.raises(ParameterError):
+            spec.normalized_pattern(("rise",))
+        with pytest.raises(ParameterError):
+            spec.normalized_pattern(("rise", "wiggle"))
+
+
+class TestBusSpec:
+    def test_scalar_broadcast(self):
+        spec = BusSpec(n_lines=3, **SPEC3)
+        assert spec.rt == (100.0,) * 3
+        assert spec.rtr == (50.0,) * 3
+
+    def test_per_line_sequences(self):
+        spec = BusSpec(
+            n_lines=2, **{**SPEC3, "rt": (100.0, 200.0), "rtr": (50.0, 25.0)}
+        )
+        assert spec.rt == (100.0, 200.0)
+        assert spec.rtr == (50.0, 25.0)
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            BusSpec(n_lines=3, **{**SPEC3, "rt": (100.0, 200.0)})
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"km": 1.0},
+            {"cct": -1e-15},
+            {"coupling_range": 0},
+            {"cct_decay": 1.5},
+            {"rtr_shield": 0.0},
+            {"n_segments": 0},
+        ],
+    )
+    def test_domain_errors(self, overrides):
+        with pytest.raises(ParameterError):
+            BusSpec(n_lines=2, **{**SPEC3, **overrides})
+
+    def test_bad_n_lines(self):
+        with pytest.raises(ParameterError):
+            BusSpec(n_lines=0, **SPEC3)
+
+    def test_shield_slots(self):
+        spec = BusSpec(n_lines=3, **SPEC3, shields=(1, 3))
+        assert spec.n_physical == 5
+        assert spec.signal_slots == (0, 2, 4)
+        assert spec.slot_of_line(1) == 2
+        assert spec.is_shield_slot(1) and not spec.is_shield_slot(2)
+        assert spec.output_node(2) == "b4_6"
+
+    def test_shield_slot_validation(self):
+        with pytest.raises(ParameterError):
+            BusSpec(n_lines=2, **SPEC3, shields=(0, 0))
+        with pytest.raises(ParameterError):
+            BusSpec(n_lines=2, **SPEC3, shields=(3,))
+
+    def test_with_shields(self):
+        spec = BusSpec(n_lines=4, **SPEC3)
+        shielded = spec.with_shields((2,))
+        assert shielded.shields == (2,)
+        assert shielded.n_physical == 5
+        assert spec.shields == ()
+
+    def test_shield_rlc_defaults_to_mean(self):
+        spec = BusSpec(
+            n_lines=2, **{**SPEC3, "rt": (100.0, 300.0)}, shields=(1,)
+        )
+        assert spec.slot_rlc(1)[0] == pytest.approx(200.0)
+
+    def test_shield_rlc_override(self):
+        spec = BusSpec(
+            n_lines=2, **SPEC3, shields=(1,), shield_rlc=(10.0, 1e-9, 1e-13)
+        )
+        assert spec.slot_rlc(1) == (10.0, 1e-9, 1e-13)
+
+    def test_coupling_terms_nearest_neighbor(self):
+        spec = BusSpec(n_lines=3, **SPEC3)
+        terms = list(spec.coupling_terms())
+        assert [(p, q) for p, q, _, _ in terms] == [(0, 1), (1, 2)]
+        assert all(c == SPEC3["cct"] and k == SPEC3["km"] for _, _, c, k in terms)
+
+    def test_coupling_terms_range_and_decay(self):
+        spec = BusSpec(
+            n_lines=3, **SPEC3, coupling_range=2, cct_decay=0.25, km_decay=0.5
+        )
+        terms = {(p, q): (c, k) for p, q, c, k in spec.coupling_terms()}
+        assert set(terms) == {(0, 1), (1, 2), (0, 2)}
+        c2, k2 = terms[(0, 2)]
+        assert c2 == pytest.approx(0.25 * SPEC3["cct"])
+        assert k2 == pytest.approx(0.5 * SPEC3["km"])
+
+
+def _legacy_coupled_circuit(
+    spec: CoupledLadderSpec, mode: VictimMode, v_step: float = 1.0
+) -> Circuit:
+    """The pre-bus two-line builder, frozen here as the reference.
+
+    Copied verbatim from the original ``repro.spice.coupled`` so the
+    bus-based reimplementation is pinned to the historical netlist.
+    """
+    n = spec.n_segments
+    ckt = Circuit("legacy coupled pair")
+    ckt.add_voltage_source("vina", "ina", "0", Step(0.0, v_step))
+    ckt.add_resistor("rtra", "ina", "a0", spec.rtr_aggressor)
+    if mode is VictimMode.QUIET:
+        victim_wave = Step(0.0, 0.0)
+    elif mode is VictimMode.EVEN:
+        victim_wave = Step(0.0, v_step)
+    else:
+        victim_wave = Step(v_step, 0.0)
+    ckt.add_voltage_source("vinv", "inv", "0", victim_wave)
+    ckt.add_resistor("rtrv", "inv", "v0", spec.rtr_victim)
+    r_seg, l_seg = spec.rt / n, spec.lt / n
+    c_seg, cc_seg = spec.ct / n, spec.cct / n
+    for prefix in ("a", "v"):
+        for i in range(n):
+            ckt.add_resistor(
+                f"r{prefix}{i + 1}", f"{prefix}{i}", f"x{prefix}{i + 1}", r_seg
+            )
+            ckt.add_inductor(
+                f"l{prefix}{i + 1}", f"x{prefix}{i + 1}", f"{prefix}{i + 1}", l_seg
+            )
+    weights = [1.0] * (n + 1)
+    weights[0] = weights[n] = 0.5
+    for i, w in enumerate(weights):
+        for prefix in ("a", "v"):
+            ckt.add_capacitor(f"cg{prefix}{i}", f"{prefix}{i}", "0", w * c_seg)
+        if spec.cct > 0:
+            ckt.add_capacitor(f"cc{i}", f"a{i}", f"v{i}", w * cc_seg)
+    if spec.cl > 0:
+        ckt.add_capacitor("cla", spec.aggressor_output, "0", spec.cl)
+        ckt.add_capacitor("clv", spec.victim_output, "0", spec.cl)
+    if spec.km > 0:
+        for i in range(1, n + 1):
+            ckt.add_mutual_inductance(f"k{i}", f"la{i}", f"lv{i}", spec.km)
+    return ckt
+
+
+class TestLegacyAgreement:
+    """The bus builder must reproduce the historical two-line netlist."""
+
+    SPEC = CoupledLadderSpec(
+        rt=100.0, lt=25e-9, ct=2e-12, cct=1e-12, km=0.5,
+        rtr_aggressor=50.0, rtr_victim=80.0, cl=5e-14, n_segments=6,
+    )
+
+    @pytest.mark.parametrize("mode", list(VictimMode))
+    def test_states_match_legacy_path(self, mode):
+        window, dt = 2e-9, 1e-12
+        new = simulate_transient(
+            build_coupled_ladder_circuit(self.SPEC, mode=mode),
+            t_stop=window, dt=dt, backend="dense",
+        )
+        old = simulate_transient(
+            _legacy_coupled_circuit(self.SPEC, mode),
+            t_stop=window, dt=dt, backend="dense",
+        )
+        new_nodes = set(new.system.node_index)
+        old_nodes = set(old.system.node_index)
+        assert new_nodes == old_nodes
+        scale = float(np.max(np.abs(old.states)))
+        worst = 0.0
+        for node in old_nodes:
+            va = new.states[:, new.system.voltage_row(node)]
+            vb = old.states[:, old.system.voltage_row(node)]
+            worst = max(worst, float(np.max(np.abs(va - vb))) / scale)
+        assert worst <= 1e-9
+
+    def test_output_node_names_preserved(self):
+        ckt = build_coupled_ladder_circuit(self.SPEC)
+        nodes = set(ckt.node_names())
+        assert self.SPEC.aggressor_output in nodes
+        assert self.SPEC.victim_output in nodes
+
+    def test_as_bus_spec(self):
+        bus = self.SPEC.as_bus_spec()
+        assert bus.n_lines == 2
+        assert bus.rtr == (50.0, 80.0)
+        assert bus.cct == self.SPEC.cct and bus.km == self.SPEC.km
+
+
+class TestBuilder:
+    def test_prefix_validation(self):
+        spec = BusSpec(n_lines=2, **SPEC3)
+        with pytest.raises(ParameterError):
+            build_bus_circuit(spec, prefixes=("a",))
+        with pytest.raises(ParameterError):
+            build_bus_circuit(spec, prefixes=("a", "a"))
+
+    def test_shield_elements_present(self):
+        spec = BusSpec(n_lines=2, **SPEC3, shields=(1,))
+        ckt = build_bus_circuit(spec)
+        names = {e.name for e in ckt.elements}
+        assert "rshb1_" in names and "rshfb1_" in names
+        # Shields carry no driver source.
+        assert "vinb1_" not in names
+
+    def test_zero_coupling_adds_no_elements(self):
+        spec = BusSpec(n_lines=2, **{**SPEC3, "cct": 0.0, "km": 0.0})
+        ckt = build_bus_circuit(spec)
+        assert not ckt.mutual_inductances
+        assert not [e.name for e in ckt.elements if e.name.startswith("cc")]
+
+    def test_circuit_validates_and_simulates(self):
+        spec = BusSpec(n_lines=3, **SPEC3, shields=(2,))
+        ckt = build_bus_circuit(spec, odd_pattern(3, 1))
+        ckt.validate()
+        result = simulate_transient(ckt, t_stop=1e-9, dt=1e-12, backend="auto")
+        assert np.all(np.isfinite(result.states))
+
+
+class TestBatchDelay50:
+    def test_matches_waveform_measurement(self):
+        times = np.linspace(0.0, 10.0, 2001)
+        rising = 1.0 - np.exp(-times)
+        falling = np.exp(-times)
+        voltages = np.stack([rising, falling], axis=1)
+        delays = batch_delay_50(times, voltages, rising=(True, False))
+        assert delays[0] == pytest.approx(math.log(2.0), rel=1e-5)
+        assert delays[1] == pytest.approx(math.log(2.0), rel=1e-5)
+
+    def test_nan_when_no_crossing(self):
+        times = np.linspace(0.0, 1.0, 100)
+        voltages = np.full((100, 1), 0.1)
+        assert math.isnan(batch_delay_50(times, voltages)[0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            batch_delay_50(np.linspace(0, 1, 10), np.zeros((5, 2)))
+
+
+class TestSimulateBus:
+    def test_waveforms_shape_and_delays(self):
+        spec = BusSpec(n_lines=3, **SPEC3)
+        waves = simulate_bus(spec, solo_pattern(3, 1))
+        assert waves.voltages.shape == (waves.times.size, 3)
+        delays = waves.delays_50()
+        assert math.isnan(delays[0]) and math.isnan(delays[2])
+        assert delays[1] > 0
+
+    def test_falling_line_measured_on_falling_edge(self):
+        spec = BusSpec(n_lines=2, **SPEC3)
+        waves = simulate_bus(spec, ("rise", "fall"))
+        delays = waves.delays_50()
+        assert np.all(np.isfinite(delays))
+
+    def test_window_validation(self):
+        spec = BusSpec(n_lines=2, **SPEC3)
+        with pytest.raises(ParameterError):
+            simulate_bus(spec, window=-1.0)
+
+
+class TestAnalyzeBus:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_bus(BusSpec(n_lines=3, **SPEC3))
+
+    def test_metrics_are_physical(self, report):
+        assert report.victim == 1
+        assert report.victim_peak_noise > 0.0
+        assert report.victim_min_noise <= 0.0
+        assert report.delay_solo > 0
+        assert report.worst_delay >= min(report.delay_even, report.delay_odd)
+        assert report.worst_pattern in ("even", "odd")
+
+    def test_spread_and_pushout_consistent(self, report):
+        assert report.delay_push_out == pytest.approx(
+            (report.worst_delay - report.delay_solo) / report.delay_solo
+        )
+        assert report.delay_spread == pytest.approx(
+            (report.delay_odd - report.delay_even) / report.delay_solo
+        )
+
+    def test_victim_validation(self):
+        spec = BusSpec(n_lines=3, **SPEC3)
+        with pytest.raises(ParameterError):
+            analyze_bus(spec, victim=3)
+
+    def test_two_line_matches_crosstalk_report(self):
+        """The 2-line bus must agree with the legacy pair analysis."""
+        from repro.analysis.crosstalk import analyze_crosstalk
+
+        pair = CoupledLadderSpec(
+            rt=100.0, lt=25e-9, ct=2e-12, cct=1e-12, km=0.5,
+            rtr_aggressor=50.0, rtr_victim=50.0, cl=5e-14, n_segments=6,
+        )
+        window, dt = 6e-9, 1.5e-12
+        legacy = analyze_crosstalk(pair, window=window, dt=dt)
+        report = analyze_bus(pair.as_bus_spec(), victim=0, window=window, dt=dt)
+        # Identical circuits on an identical grid: the victim-0 even/odd
+        # delays are the legacy aggressor delays under the same modes.
+        assert report.delay_even == pytest.approx(
+            legacy.aggressor_delay_even, rel=1e-9
+        )
+        assert report.delay_odd == pytest.approx(
+            legacy.aggressor_delay_odd, rel=1e-9
+        )
+
+
+class TestShields:
+    def test_shield_cuts_victim_noise(self):
+        spec = BusSpec(n_lines=3, **SPEC3)
+        bare = analyze_bus(spec)
+        shielded = analyze_bus(spec.with_shields(evenly_spread_shields(3, 1)))
+        assert (
+            shielded.worst_noise_magnitude < 0.7 * bare.worst_noise_magnitude
+        )
+
+    def test_evenly_spread_shields(self):
+        assert evenly_spread_shields(8, 0) == ()
+        assert evenly_spread_shields(8, 1) == (4,)
+        assert evenly_spread_shields(8, 3) == (2, 5, 8)
+        assert evenly_spread_shields(3, 2) == (1, 3)
+
+    def test_evenly_spread_shields_validation(self):
+        with pytest.raises(ParameterError):
+            evenly_spread_shields(3, 3)
+        with pytest.raises(ParameterError):
+            evenly_spread_shields(0, 0)
+        with pytest.raises(ParameterError):
+            evenly_spread_shields(3, -1)
+
+    def test_shield_tradeoff_replaces_shields(self):
+        spec = BusSpec(n_lines=3, **SPEC3, shields=(1,))
+        results = shield_tradeoff(spec, shield_counts=(0,))
+        shielded, report = results[0]
+        assert shielded.shields == ()
+        assert report.n_shields == 0

@@ -1,0 +1,228 @@
+"""Tests for the crosstalk-aware repeater stage and its sweep surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import DriverLineLoad
+from repro.core.repeater import (
+    Buffer,
+    CoupledRepeaterSystem,
+    coupled_line,
+    crosstalk_aware_design,
+    miller_switch_factor,
+    numerical_optimal_design,
+    optimal_rlc_design,
+)
+from repro.errors import ParameterError
+from repro.experiments import bus_repeater_study, shield_study
+from repro.sweep import (
+    Axis,
+    ParameterGrid,
+    Sweep,
+    SweepRunner,
+    batch_crosstalk_aware_design,
+    batch_effective_capacitance,
+)
+
+LINE = DriverLineLoad(rt=100.0, lt=1e-8, ct=2e-12)
+BUFFER = Buffer(r0=1000.0, c0=1e-14)
+CCT = 1e-12
+
+
+class TestMillerFactor:
+    def test_named_patterns(self):
+        assert miller_switch_factor("even") == 0.0
+        assert miller_switch_factor("quiet") == 1.0
+        assert miller_switch_factor("odd") == 2.0
+
+    def test_numeric_pass_through(self):
+        assert miller_switch_factor(1.5) == 1.5
+
+    def test_enum_like_value(self):
+        from repro.bus import LineSwitch
+
+        assert miller_switch_factor(LineSwitch.QUIET) == 1.0
+
+    def test_rejects_unknown_and_negative(self):
+        with pytest.raises(ParameterError):
+            miller_switch_factor("sideways")
+        with pytest.raises(ParameterError):
+            miller_switch_factor(-1.0)
+
+
+class TestCoupledLine:
+    def test_effective_capacitance(self):
+        eff = coupled_line(LINE, CCT, switch_factor=2.0, n_neighbors=2.0)
+        assert eff.ct == pytest.approx(LINE.ct + 4.0 * CCT)
+        assert (eff.rt, eff.lt) == (LINE.rt, LINE.lt)
+
+    def test_even_mode_is_identity(self):
+        assert coupled_line(LINE, CCT, switch_factor=0.0) == LINE
+
+    def test_pattern_names_accepted(self):
+        assert coupled_line(LINE, CCT, "quiet").ct == pytest.approx(
+            LINE.ct + 2.0 * CCT
+        )
+
+
+class TestCrosstalkAwareDesign:
+    def test_zero_factor_recovers_single_line_optimum(self):
+        solo = optimal_rlc_design(LINE, BUFFER)
+        aware = crosstalk_aware_design(LINE, BUFFER, CCT, switch_factor=0.0)
+        assert aware.h == pytest.approx(solo.h)
+        assert aware.k == pytest.approx(solo.k)
+
+    def test_zero_coupling_recovers_single_line_optimum(self):
+        solo = optimal_rlc_design(LINE, BUFFER)
+        aware = crosstalk_aware_design(LINE, BUFFER, 0.0)
+        assert aware.h == pytest.approx(solo.h)
+        assert aware.k == pytest.approx(solo.k)
+
+    def test_design_grows_with_switch_factor(self):
+        designs = [
+            crosstalk_aware_design(LINE, BUFFER, CCT, switch_factor=f)
+            for f in (0.0, 1.0, 2.0)
+        ]
+        hs = [d.h for d in designs]
+        ks = [d.k for d in designs]
+        assert hs == sorted(hs) and hs[0] < hs[-1]
+        assert ks == sorted(ks) and ks[0] < ks[-1]
+
+    def test_matches_scalar_kernel(self):
+        aware = crosstalk_aware_design(LINE, BUFFER, CCT)
+        h, k = batch_crosstalk_aware_design(
+            LINE.rt, LINE.lt, LINE.ct, CCT, BUFFER.r0, BUFFER.c0
+        )
+        assert aware.h == pytest.approx(float(h))
+        assert aware.k == pytest.approx(float(k))
+
+
+class TestCoupledRepeaterSystem:
+    SYSTEM = CoupledRepeaterSystem(LINE, BUFFER, cct=CCT)
+
+    def test_aware_design_beats_single_line_under_odd(self):
+        solo = optimal_rlc_design(LINE, BUFFER)
+        penalty = self.SYSTEM.worst_case_penalty(solo)
+        assert penalty > 0.0
+
+    def test_closed_form_gap_is_pattern_invariant(self):
+        """The closed-form-vs-numerical delay gap depends only on
+        ``T_{L/R}`` (paper appendix, eq. 28), which the coupling
+        capacitance does not enter -- so it must be identical across
+        switching patterns."""
+
+        def gap(switch_factor: float) -> float:
+            aware = self.SYSTEM.design(switch_factor=switch_factor)
+            numerical = numerical_optimal_design(
+                self.SYSTEM.effective_line(switch_factor), BUFFER
+            )
+            t_aware = self.SYSTEM.total_delay(aware, switch_factor)
+            t_best = self.SYSTEM.total_delay(numerical, switch_factor)
+            assert t_aware >= t_best * (1.0 - 1e-9)  # numerical is optimal
+            return t_aware / t_best
+
+        assert gap(0.0) == pytest.approx(gap(2.0), rel=1e-5)
+
+    def test_requires_resistive_line(self):
+        with pytest.raises(ParameterError):
+            CoupledRepeaterSystem(
+                DriverLineLoad(rt=0.0, lt=1e-8, ct=2e-12), BUFFER, cct=CCT
+            )
+
+
+class TestKernels:
+    def test_effective_capacitance_broadcast(self):
+        ct_eff = batch_effective_capacitance(
+            2e-12, CCT, switch_factor=np.array([0.0, 1.0, 2.0])
+        )
+        assert ct_eff == pytest.approx(2e-12 + np.array([0.0, 2.0, 4.0]) * CCT)
+
+    def test_scalar_fast_path_matches_array(self):
+        scalar = batch_effective_capacitance(2e-12, CCT, 1.5, 2.0)
+        array = batch_effective_capacitance(np.array(2e-12), CCT, 1.5, 2.0)
+        assert scalar == pytest.approx(float(array))
+
+    def test_domain_validation(self):
+        with pytest.raises(ParameterError):
+            batch_effective_capacitance(0.0, CCT)
+        with pytest.raises(ParameterError):
+            batch_effective_capacitance(2e-12, -CCT)
+
+
+class TestSweepSurface:
+    FIXED = dict(
+        rt=100.0, lt=1e-8, ct=2e-12, cct=CCT, r0=1000.0, c0=1e-14
+    )
+
+    def test_crosstalk_aware_design_quantity(self):
+        grid = ParameterGrid(Axis("switch_factor", [0.0, 2.0]))
+        result = SweepRunner().run(
+            Sweep("crosstalk_aware_design", grid, fixed=self.FIXED)
+        )
+        solo = optimal_rlc_design(LINE, BUFFER)
+        assert result.outputs["h"][0] == pytest.approx(solo.h)
+        assert result.outputs["h"][1] > result.outputs["h"][0]
+
+    def test_pattern_axis_derives_switch_factor(self):
+        grid = ParameterGrid(Axis("pattern", ["even", "quiet", "odd"]))
+        result = SweepRunner().run(
+            Sweep("crosstalk_aware_design", grid, fixed=self.FIXED)
+        )
+        assert result.columns["switch_factor"] == pytest.approx(
+            [0.0, 1.0, 2.0]
+        )
+        h = result.outputs["h"]
+        assert h[0] < h[1] < h[2]
+
+    def test_pattern_axis_conflicts_with_explicit_factor(self):
+        grid = ParameterGrid(Axis("pattern", ["even", "odd"]))
+        sweep = Sweep(
+            "crosstalk_aware_design",
+            grid,
+            fixed={**self.FIXED, "switch_factor": 1.0},
+        )
+        with pytest.raises(ParameterError):
+            SweepRunner().run(sweep)
+
+    def test_effective_capacitance_quantity(self):
+        grid = ParameterGrid(Axis("pattern", ["even", "quiet", "odd"]))
+        result = SweepRunner().run(
+            Sweep(
+                "effective_capacitance",
+                grid,
+                fixed={"ct": 2e-12, "cct": CCT},
+            )
+        )
+        assert result.output("ct_eff") == pytest.approx(
+            2e-12 + np.array([0.0, 2.0, 4.0]) * CCT
+        )
+
+
+class TestShieldStudyDriver:
+    def test_small_run(self):
+        table = shield_study.run(
+            n_lines=3, shield_counts=(0, 1), n_segments=6, length=4e-3
+        )
+        assert len(table.rows) == 2
+        noise = table.column("noise+_%")
+        assert noise[1] < noise[0]  # the shield must help
+        tracks = table.column("tracks")
+        assert tracks == [3, 4]
+
+
+class TestBusRepeaterStudyDriver:
+    def test_small_run(self):
+        table = bus_repeater_study.run(
+            patterns=("even", "odd"), validate_numerically=False
+        )
+        assert len(table.rows) == 2
+        penalties = table.column("penalty_%")
+        assert penalties[0] == pytest.approx(0.0, abs=1e-6)
+        assert penalties[1] > 0.0
+
+    def test_numerical_validation_column(self):
+        table = bus_repeater_study.run(patterns=("odd",))
+        gap = table.column("fit_gap_%")[0]
+        assert np.isfinite(gap) and gap >= 0.0

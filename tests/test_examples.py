@@ -1,0 +1,46 @@
+"""Smoke tests for every shipped example script.
+
+Each ``examples/*.py`` runs in a subprocess with
+``REPRO_EXAMPLES_FAST=1`` (the examples' own downsizing knob), so a
+tutorial that drifts out of sync with the library API fails the suite
+instead of rotting silently.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.name for path in EXAMPLES]
+)
+def test_example_runs_clean(example: pathlib.Path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_FAST"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"
