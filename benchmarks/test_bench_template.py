@@ -1,0 +1,206 @@
+"""EXP-TPL benchmarks: stamp-once / re-value-many vs per-point rebuilds.
+
+Acceptance gate for the symbolic/numeric split: a 256-point value-only
+transient sweep over an 8-line x 200-segment coupled bus, run through
+``build_bus_template`` + ``simulate_transient_batch`` in chunks, must be
+>= 5x faster than the per-point path the ``SweepRunner`` fan-out
+historically used (fresh netlist + fresh MNA assembly + fresh
+``backend="auto"`` resolution + fresh factorization per point), with
+the recorded far-end waveforms of *every* point agreeing to <= 1e-12.
+
+The per-point reference is timed serially -- exactly one worker's
+workload; both paths ride the same worker pool in production, so the
+single-worker ratio is the honest measure of the work eliminated.
+
+Under ``--benchmark-disable`` / smoke mode the workload shrinks and the
+timing assertion is skipped; the <= 1e-12 agreement assertions (on all
+three backends plus ``auto``) still run, so the revaluation path cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.bus.builder import build_bus_circuit, build_bus_template
+from repro.bus.spec import BusSpec
+from repro.experiments.common import ExperimentTable
+from repro.spice.transient import simulate_transient, simulate_transient_batch
+
+TOL = 1e-12
+#: Points per batched chunk (matches the sweep runner's cap: each
+#: distinct point keeps its factorization alive for the chunk's run).
+CHUNK = 32
+
+
+def _base_spec(n_lines: int, n_segments: int) -> BusSpec:
+    return BusSpec(
+        n_lines=n_lines,
+        rt=1000.0,
+        lt=1e-6,
+        ct=1e-12,
+        cct=4e-13,
+        km=0.5,
+        rtr=100.0,
+        cl=1e-13,
+        n_segments=n_segments,
+    )
+
+
+def _value_grid(n_rt: int, n_cct: int) -> list[dict]:
+    """A value-only (rt, cct) product grid; topology never changes."""
+    rts = np.geomspace(600.0, 1400.0, n_rt)
+    ccts = np.linspace(1e-13, 6e-13, n_cct)
+    return [
+        {"rt": float(rt), "cct": float(cct)} for rt in rts for cct in ccts
+    ]
+
+
+def _alternating_pattern(n_lines: int) -> tuple[str, ...]:
+    return tuple("rise" if i % 2 == 0 else "fall" for i in range(n_lines))
+
+
+def _per_point_waveforms(spec, pattern, points, t_stop, dt, out) -> np.ndarray:
+    """The historical fan-out workload: fresh build + simulate per point."""
+    waves = []
+    for point in points:
+        concrete = replace(spec, **point)
+        circuit = build_bus_circuit(concrete, pattern)
+        result = simulate_transient(circuit, t_stop=t_stop, dt=dt, backend="auto")
+        waves.append(result.voltage(out).values)
+    return np.asarray(waves)
+
+
+def _batched_waveforms(spec, pattern, points, t_stop, dt, out) -> np.ndarray:
+    """The template path, chunked exactly like the sweep runner."""
+    template = build_bus_template(spec, pattern)
+    waves = []
+    for lo in range(0, len(points), CHUNK):
+        chunk = points[lo : lo + CHUNK]
+        result = simulate_transient_batch(
+            template,
+            chunk,
+            t_stop=t_stop,
+            dt=dt,
+            backend="auto",
+            record=[out],
+        )
+        waves.append(result.voltage(out))
+    return np.concatenate(waves, axis=0)
+
+
+def test_bench_template_batch_sweep(benchmark, record_table, timing_enabled):
+    timed = timing_enabled
+    n_lines = 8 if timed else 4
+    n_segments = 200 if timed else 30
+    points = _value_grid(16, 16) if timed else _value_grid(3, 2)
+    t_stop = 2e-9
+    dt = t_stop / 24  # 24 lockstep trapezoidal steps per point
+
+    spec = _base_spec(n_lines, n_segments)
+    pattern = _alternating_pattern(n_lines)
+    out = spec.output_node(0)
+
+    # Warm-up both paths on a tiny prefix (lazy imports, BLAS spin-up,
+    # template cache) so neither stopwatch pays one-time costs.
+    _per_point_waveforms(spec, pattern, points[:2], t_stop, dt, out)
+    _batched_waveforms(spec, pattern, points[:2], t_stop, dt, out)
+
+    start = time.perf_counter()
+    reference = _per_point_waveforms(spec, pattern, points, t_stop, dt, out)
+    t_per_point = time.perf_counter() - start
+
+    # The batch timing still includes template construction, the one
+    # structural MNA pass, backend resolution and every per-point
+    # refactorization: clear the memo so nothing is smuggled out.
+    from repro.bus.builder import _cached_bus_template
+
+    _cached_bus_template.cache_clear()
+    start = time.perf_counter()
+    batched = _batched_waveforms(spec, pattern, points, t_stop, dt, out)
+    t_batch = time.perf_counter() - start
+
+    disagreement = float(np.max(np.abs(batched - reference)))
+    assert disagreement <= TOL, (
+        f"batched revaluation deviates from fresh builds by {disagreement:g}"
+    )
+    speedup = t_per_point / t_batch
+    if timed:
+        assert speedup >= 5.0, (
+            f"batch path only {speedup:.1f}x faster than per-point "
+            f"fan-out on the {len(points)}-point {n_lines}x{n_segments} bus sweep"
+        )
+    benchmark.pedantic(
+        lambda: _batched_waveforms(spec, pattern, points[:CHUNK], t_stop, dt, out),
+        rounds=1,
+        iterations=1,
+    )
+
+    record_table(
+        ExperimentTable(
+            experiment_id="EXP-TPL-BATCH",
+            title=f"{len(points)}-point value-only transient sweep over an "
+            f"{n_lines}x{n_segments} bus -- template batch vs per-point rebuild",
+            headers=(
+                "points", "per_point_s", "batch_s", "speedup_x", "max_abs_diff",
+            ),
+            rows=(
+                (
+                    len(points),
+                    round(t_per_point, 2),
+                    round(t_batch, 2),
+                    round(speedup, 1),
+                    f"{disagreement:.2e}",
+                ),
+            ),
+            notes=(
+                "per-point: fresh netlist + MNA assembly + auto backend "
+                "resolution + factorization each point (serial, one worker)",
+                f"batch: one CircuitTemplate, revalue + refactorize per point, "
+                f"lockstep stepping in chunks of {CHUNK}",
+                f"{int(round(t_stop / dt))} trapezoidal steps per point",
+            ),
+        )
+    )
+
+
+def test_bench_template_all_backends_agree(record_table, timing_enabled):
+    """Small-bus equivalence of the batch path on every explicit backend."""
+    spec = _base_spec(3, 16)
+    pattern = _alternating_pattern(3)
+    out = spec.output_node(0)
+    points = _value_grid(2, 2)
+    t_stop, dt = 2e-9, 1e-10
+    template = build_bus_template(spec, pattern)
+    rows = []
+    for backend in ("dense", "sparse", "banded"):
+        batch = simulate_transient_batch(
+            template, points, t_stop=t_stop, dt=dt, backend=backend, record=[out]
+        )
+        worst = 0.0
+        for j, point in enumerate(points):
+            concrete = replace(spec, **point)
+            ref = simulate_transient(
+                build_bus_circuit(concrete, pattern),
+                t_stop=t_stop,
+                dt=dt,
+                backend=backend,
+            )
+            worst = max(
+                worst,
+                float(np.max(np.abs(batch.voltage(out)[j] - ref.voltage(out).values))),
+            )
+        assert worst <= TOL, f"{backend}: batch deviates by {worst:g}"
+        rows.append((backend, f"{worst:.2e}"))
+    record_table(
+        ExperimentTable(
+            experiment_id="EXP-TPL-BACKENDS",
+            title="template revaluation vs fresh builds -- per-backend agreement",
+            headers=("backend", "max_abs_diff"),
+            rows=tuple(rows),
+            notes=("3x16 bus, 4 value points, 20 trapezoidal steps",),
+        )
+    )

@@ -17,7 +17,13 @@ subpackage generalizes the two-conductor ladder of
   spec + pattern as a :class:`~repro.spice.netlist.Circuit`, assembled
   through the backend-neutral COO MNA path so all three
   :class:`~repro.spice.backend.SimulationBackend` implementations
-  (dense / sparse / banded) serve bus transients.
+  (dense / sparse / banded) serve bus transients; and
+  :func:`build_bus_template`: the same netlist with its electrical
+  values (``rt``/``lt``/``ct``/``cct``/``rtr``/``cl``) as
+  :class:`~repro.spice.netlist.Param` slots, feeding the batched
+  stamp-once / re-value-many analyses
+  (:func:`~repro.spice.transient.simulate_transient_batch`,
+  :func:`~repro.spice.ac.ac_sweep_batch`).
 
 Higher-level bus *metrics* (victim noise, worst-pattern delay push-out,
 settling, shield-count trade-offs) live in :mod:`repro.analysis.bus`;
@@ -41,12 +47,13 @@ from repro.bus.spec import (
     quiet_victim_pattern,
     solo_pattern,
 )
-from repro.bus.builder import build_bus_circuit
+from repro.bus.builder import build_bus_circuit, build_bus_template
 
 __all__ = [
     "BusSpec",
     "LineSwitch",
     "build_bus_circuit",
+    "build_bus_template",
     "even_pattern",
     "odd_pattern",
     "quiet_victim_pattern",

@@ -293,23 +293,44 @@ class BusSpec:
         line = self.signal_slots.index(slot)
         return (self.rt[line], self.lt[line], self.ct[line])
 
-    def coupling_terms(self) -> Iterator[tuple[int, int, float, float]]:
-        """Yield ``(slot_p, slot_q, cct_pq, km_pq)`` for coupled pairs.
+    def coupled_pairs(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(slot_p, slot_q, separation)`` for every in-range pair.
 
         Pairs are ordered ``slot_p < slot_q`` with separation up to
-        :attr:`coupling_range`; zero-strength terms are skipped.
+        :attr:`coupling_range`; strengths are *not* filtered here (use
+        :meth:`coupling_terms` for that).
         """
         for p in range(self.n_physical):
             for s in range(1, self.coupling_range + 1):
                 q = p + s
                 if q >= self.n_physical:
                     break
-                decay_c = self.cct_decay ** (s - 1) if s > 1 else 1.0
-                decay_k = self.km_decay ** (s - 1) if s > 1 else 1.0
-                cct_pq = self.cct * decay_c
-                km_pq = self.km * decay_k
-                if cct_pq > 0.0 or km_pq > 0.0:
-                    yield (p, q, cct_pq, km_pq)
+                yield (p, q, s)
+
+    def cct_decay_factor(self, separation: int) -> float:
+        """Geometric decay multiplier of the coupling capacitance.
+
+        1 for adjacent slots, ``cct_decay ** (separation - 1)`` beyond.
+        """
+        return self.cct_decay ** (separation - 1) if separation > 1 else 1.0
+
+    def km_at(self, separation: int) -> float:
+        """Inductive coupling coefficient at a given slot separation."""
+        return self.km * (
+            self.km_decay ** (separation - 1) if separation > 1 else 1.0
+        )
+
+    def coupling_terms(self) -> Iterator[tuple[int, int, float, float]]:
+        """Yield ``(slot_p, slot_q, cct_pq, km_pq)`` for coupled pairs.
+
+        Pairs are ordered ``slot_p < slot_q`` with separation up to
+        :attr:`coupling_range`; zero-strength terms are skipped.
+        """
+        for p, q, s in self.coupled_pairs():
+            cct_pq = self.cct * self.cct_decay_factor(s)
+            km_pq = self.km_at(s)
+            if cct_pq > 0.0 or km_pq > 0.0:
+                yield (p, q, cct_pq, km_pq)
 
     # -- node naming ---------------------------------------------------------
 

@@ -44,6 +44,7 @@ __all__ = [
     "SIMULATOR_VERSION",
     "SimulatorRoute",
     "simulated_delay_50",
+    "simulated_delay_50_batch",
     "simulated_step_waveform",
 ]
 
@@ -166,3 +167,95 @@ def simulated_delay_50(
             f"no 50% crossing within window={window} "
             f"(zeta={line.zeta:.3g}); increase the window"
         ) from exc
+
+
+def simulated_delay_50_batch(
+    lines,
+    route: SimulatorRoute | str = SimulatorRoute.STATESPACE,
+    n_segments: int = 100,
+    n_samples: int = 4001,
+    window: float = 12.0,
+    dt: float | None = None,
+    backend: str = "auto",
+) -> np.ndarray:
+    """Simulated 50% delays for a whole batch of Fig. 1 circuits.
+
+    Point-for-point equivalent to calling :func:`simulated_delay_50` on
+    each line, but the ``"mna"`` route runs on the stamp-once /
+    re-value-many path: the batch is partitioned into
+    *structure-equivalence classes* -- lines sharing the ladder
+    structure (``cl = 0`` vs ``cl > 0`` is structural) and the lockstep
+    step count -- and each class revalues one cached
+    :func:`~repro.spice.ladder.build_ladder_template` and steps every
+    member together through
+    :func:`~repro.spice.transient.simulate_transient_batch`.  The
+    ``"statespace"`` and ``"tline"`` routes have no shared linear
+    system to revalue and simply loop.
+
+    Parameters are as in :func:`simulated_delay_50`; ``lines`` is a
+    sequence of :class:`~repro.core.canonical.DriverLineLoad`.  Returns
+    the delays (seconds) in input order.
+    """
+    lines = list(lines)
+    route = SimulatorRoute(route)
+    if route is not SimulatorRoute.MNA or len(lines) <= 1:
+        return np.asarray(
+            [
+                simulated_delay_50(
+                    line, route=route, n_segments=n_segments,
+                    n_samples=n_samples, window=window, dt=dt, backend=backend,
+                )
+                for line in lines
+            ],
+            dtype=float,
+        )
+
+    from repro.spice.ladder import build_ladder_template
+    from repro.spice.transient import simulate_transient_batch
+
+    specs = [line.ladder(n_segments=n_segments) for line in lines]
+    spans = np.asarray([_time_window(line, window) for line in lines])
+    dts = spans / (n_samples - 1) if dt is None else np.full(len(lines), dt)
+    # Same snap rule as the transient grid, so class members share the
+    # exact lockstep step count the scalar path would use.
+    steps = np.maximum(1, np.ceil((spans / dts) * (1.0 - 1e-12)).astype(int))
+
+    delays = np.empty(len(lines))
+    classes: dict[tuple, list[int]] = {}
+    for i, spec in enumerate(specs):
+        classes.setdefault((spec.cl > 0, int(steps[i])), []).append(i)
+
+    for (loaded, _), members in classes.items():
+        template = build_ladder_template(
+            n_segments, specs[members[0]].topology, loaded=loaded
+        )
+        params = [
+            {
+                "rt": specs[i].rt,
+                "lt": specs[i].lt,
+                "ct": specs[i].ct,
+                "rtr": specs[i].rtr,
+                **({"cl": specs[i].cl} if loaded else {}),
+            }
+            for i in members
+        ]
+        output_node = specs[members[0]].output_node
+        result = simulate_transient_batch(
+            template,
+            params,
+            t_stop=spans[members],
+            dt=dts[members],
+            backend=backend,
+            record=[output_node],
+        )
+        voltages = result.voltage(output_node)
+        for k, i in enumerate(members):
+            waveform = Waveform(result.times_of(k), voltages[k])
+            try:
+                delays[i] = waveform.delay_50(v_final=1.0)
+            except AnalysisError as exc:
+                raise AnalysisError(
+                    f"no 50% crossing within window={window} "
+                    f"(zeta={lines[i].zeta:.3g}); increase the window"
+                ) from exc
+    return delays

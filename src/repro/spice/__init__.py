@@ -4,18 +4,28 @@ This subpackage stands in for AS/X, the IBM dynamic circuit simulator the
 paper validates against.  It provides:
 
 - :mod:`repro.spice.netlist`    -- circuit description (R, L, C, sources),
+  including :class:`~repro.spice.netlist.Param` slots for symbolic
+  element values,
 - :mod:`repro.spice.mna`        -- Modified Nodal Analysis assembly in
-  backend-neutral triplet (COO) form; dense matrices only on demand,
+  backend-neutral triplet (COO) form, split into a structural pass
+  (:class:`~repro.spice.mna.MnaStructure`,
+  :class:`~repro.spice.mna.CircuitTemplate`) and a cheap revaluation
+  pass for value-only parameter changes; dense matrices only on demand,
 - :mod:`repro.spice.backend`    -- pluggable linear-solver backends:
   dense LU (reference), ``scipy.sparse`` SuperLU, and an RCM-reordered
   banded LAPACK path for ladder chains, with ``"auto"`` selection by
-  system size and bandwidth,
+  system size and bandwidth, pattern-reusing
+  :class:`~repro.spice.backend.PatternFactorizer` revaluations, and
+  multi-RHS block solves,
 - :mod:`repro.spice.dc`         -- DC operating point,
 - :mod:`repro.spice.transient`  -- backward-Euler / trapezoidal transient
   (one factorization reused across every step; the grid always ends
-  exactly at ``t_stop``),
+  exactly at ``t_stop``), plus lockstep batched stepping of
+  structure-identical parameter points
+  (:func:`~repro.spice.transient.simulate_transient_batch`),
 - :mod:`repro.spice.ac`         -- small-signal frequency sweeps (triplet
-  assembly per frequency, no dense rebuilds),
+  assembly per frequency, no dense rebuilds) with a batched counterpart
+  (:func:`~repro.spice.ac.ac_sweep_batch`),
 - :mod:`repro.spice.statespace` -- exact matrix-exponential integration of
   LTI state-space models,
 - :mod:`repro.spice.ladder`     -- lumped-segment approximations of the
@@ -35,16 +45,32 @@ from repro.spice.backend import (
     BandedLuBackend,
     CooMatrix,
     DenseLuBackend,
+    PatternFactorizer,
     SimulationBackend,
     SparseLuBackend,
     resolve_backend,
 )
-from repro.spice.ladder import LadderSpec, LadderTopology, build_ladder_circuit, build_ladder_state_space
+from repro.spice.ladder import (
+    LadderSpec,
+    LadderTopology,
+    build_ladder_circuit,
+    build_ladder_state_space,
+    build_ladder_template,
+)
+from repro.spice.mna import (
+    CircuitTemplate,
+    MnaStructure,
+    MnaSystem,
+    build_mna,
+    build_mna_structure,
+)
 from repro.spice.netlist import (
     Capacitor,
     Circuit,
     CurrentSource,
     Inductor,
+    Param,
+    ParamAffine,
     PiecewiseLinear,
     Pulse,
     Resistor,
@@ -52,10 +78,15 @@ from repro.spice.netlist import (
     Step,
     VoltageSource,
 )
-from repro.spice.transient import TransientResult, simulate_transient
+from repro.spice.transient import (
+    TransientBatchResult,
+    TransientResult,
+    simulate_transient,
+    simulate_transient_batch,
+)
 from repro.spice.statespace import StateSpace, simulate_step
 from repro.spice.dc import dc_operating_point
-from repro.spice.ac import ac_sweep
+from repro.spice.ac import AcBatchResult, ac_sweep, ac_sweep_batch
 
 __all__ = [
     "Circuit",
@@ -68,17 +99,30 @@ __all__ = [
     "Pulse",
     "Sine",
     "PiecewiseLinear",
+    "Param",
+    "ParamAffine",
+    "CircuitTemplate",
+    "MnaStructure",
+    "MnaSystem",
+    "build_mna",
+    "build_mna_structure",
     "simulate_transient",
+    "simulate_transient_batch",
     "TransientResult",
+    "TransientBatchResult",
     "StateSpace",
     "simulate_step",
     "dc_operating_point",
     "ac_sweep",
+    "ac_sweep_batch",
+    "AcBatchResult",
     "LadderSpec",
     "LadderTopology",
     "build_ladder_circuit",
+    "build_ladder_template",
     "build_ladder_state_space",
     "SimulationBackend",
+    "PatternFactorizer",
     "DenseLuBackend",
     "SparseLuBackend",
     "BandedLuBackend",

@@ -21,15 +21,16 @@ exactly, and must converge to the exact distributed line as ``n`` grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.errors import NetlistError, SimulationError
+from repro.errors import NetlistError, ParameterError, SimulationError
 from repro.spice.backend import SimulationBackend, resolve_backend
-from repro.spice.mna import build_mna
-from repro.spice.netlist import Circuit, VoltageSource
+from repro.spice.mna import CircuitTemplate, MnaStructure, build_mna
+from repro.spice.netlist import Circuit, VoltageSource, canonical_node
 
-__all__ = ["AcResult", "ac_sweep"]
+__all__ = ["AcResult", "AcBatchResult", "ac_sweep", "ac_sweep_batch"]
 
 
 @dataclass(frozen=True)
@@ -98,29 +99,25 @@ def ac_sweep(
     omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
     system = build_mna(circuit)
 
-    v_sources = [e for e in circuit.elements if isinstance(e, VoltageSource)]
-    if input_source is None:
-        if len(v_sources) != 1:
-            raise NetlistError(
-                "input_source must be named when the circuit has "
-                f"{len(v_sources)} voltage sources"
-            )
-        input_source = v_sources[0].name
-    elif input_source not in {e.name for e in v_sources}:
-        raise NetlistError(f"no voltage source named {input_source!r}")
-
+    input_source = _resolve_input_source(circuit, input_source)
     b = np.zeros(system.size, dtype=complex)
     b[system.current_row(input_source)] = 1.0
 
     # The sparsity pattern of G + jwC is the same at every frequency;
-    # resolve the backend once on the union pattern.
-    backend = resolve_backend(backend, system.combine(1.0, 1.0j))
+    # resolve the backend once on the union pattern, and reuse the
+    # pattern-dependent work (RCM profile, CSC assembly map) across
+    # every frequency point through one PatternFactorizer.
+    pattern = system.combine(1.0, 1.0j)
+    backend = resolve_backend(backend, pattern)
+    factorizer = backend.factorizer(pattern)
+    g_data = system.g_coo.data.astype(complex)
+    c_data = system.c_coo.data
 
     states = np.empty((omegas.size, system.size), dtype=complex)
     for k, w in enumerate(omegas):
-        matrix = system.combine(1.0, 1j * w)
+        data = np.concatenate([g_data, 1j * w * c_data])
         try:
-            states[k] = backend.factorize(matrix).solve(b)
+            states[k] = factorizer.refactorize(data).solve(b)
         except SimulationError as exc:
             raise SimulationError(f"singular AC system at omega = {w:g}") from exc
     return AcResult(
@@ -128,4 +125,164 @@ def ac_sweep(
         states=states,
         node_index=dict(system.node_index),
         branch_index=dict(system.branch_index),
+    )
+
+
+def _resolve_input_source(circuit: Circuit, input_source: str | None) -> str:
+    """Pick (or validate) the stimulated voltage source's name."""
+    v_sources = [e for e in circuit.elements if isinstance(e, VoltageSource)]
+    if input_source is None:
+        if len(v_sources) != 1:
+            raise NetlistError(
+                "input_source must be named when the circuit has "
+                f"{len(v_sources)} voltage sources"
+            )
+        return v_sources[0].name
+    if input_source not in {e.name for e in v_sources}:
+        raise NetlistError(f"no voltage source named {input_source!r}")
+    return input_source
+
+
+@dataclass(frozen=True)
+class AcBatchResult:
+    """Complex node spectra for a batch of structure-identical circuits.
+
+    Attributes
+    ----------
+    omegas:
+        The shared angular-frequency grid, shape ``(F,)``.
+    states:
+        Solutions of shape ``(B, F, R)`` where ``R`` is the number of
+        recorded MNA rows (all of them unless ``record`` was given).
+    structure:
+        The shared :class:`~repro.spice.mna.MnaStructure`.
+    recorded_rows:
+        MNA row index of each recorded column, in column order.
+    """
+
+    omegas: np.ndarray
+    states: np.ndarray
+    structure: MnaStructure
+    recorded_rows: tuple[int, ...]
+
+    @property
+    def n_points(self) -> int:
+        """Number of batch points ``B``."""
+        return self.states.shape[0]
+
+    def _column(self, row: int) -> int:
+        try:
+            return self.recorded_rows.index(row)
+        except ValueError:
+            raise ParameterError(
+                f"MNA row {row} was not recorded; pass it in record= "
+                "(or record everything with record=None)"
+            ) from None
+
+    def voltage(self, node) -> np.ndarray:
+        """Complex voltage spectra ``(B, F)`` of one node (ground is 0)."""
+        from repro.spice.netlist import GROUND
+
+        if canonical_node(node) == GROUND:
+            return np.zeros(self.states.shape[:2], dtype=complex)
+        col = self._column(self.structure.voltage_row(node))
+        return self.states[:, :, col].copy()
+
+    def current(self, element_name: str) -> np.ndarray:
+        """Complex branch-current spectra ``(B, F)`` of one element."""
+        col = self._column(self.structure.current_row(element_name))
+        return self.states[:, :, col].copy()
+
+    def transfer(self, node_out, node_in) -> np.ndarray:
+        """``V(node_out) / V(node_in)`` per point, shape ``(B, F)``."""
+        vin = self.voltage(node_in)
+        if np.any(vin == 0):
+            raise SimulationError("input node has zero AC voltage at some point")
+        return self.voltage(node_out) / vin
+
+
+def ac_sweep_batch(
+    template: CircuitTemplate,
+    params,
+    omegas,
+    input_source: str | None = None,
+    backend: SimulationBackend | str = "auto",
+    record: Sequence | None = None,
+) -> AcBatchResult:
+    """Run an AC sweep over a batch of structure-identical circuits.
+
+    The stamp-once / re-value-many counterpart of :func:`ac_sweep`:
+    the template's MNA structure, the backend choice, and the
+    pattern-dependent factorization work are all shared across every
+    ``(point, frequency)`` pair; each pair pays only a numeric
+    refactorization of the revalued ``G + j*omega*C`` data.  Results
+    match per-point :func:`ac_sweep` runs over ``template.bind(point)``
+    to <= 1e-12 on every backend (pinned by the equivalence suite).
+
+    Parameters
+    ----------
+    template:
+        The parameterized circuit
+        (:class:`~repro.spice.mna.CircuitTemplate`).
+    params:
+        Batch parameter values: a mapping of name to length-``B``
+        columns (scalars broadcast) or a sequence of per-point dicts;
+        template defaults fill missing names.
+    omegas:
+        Angular frequencies (rad/s), shared by every point.
+    input_source:
+        Stimulated voltage source name; may be omitted when the
+        template has exactly one voltage source.
+    backend:
+        Linear-solver implementation, resolved once on the union
+        pattern.
+    record:
+        Optional node names (or MNA row indices) to record; ``None``
+        records every unknown.
+    """
+    from repro.spice.transient import _param_columns, _recorded_rows
+
+    if not isinstance(template, CircuitTemplate):
+        raise ParameterError(
+            f"ac_sweep_batch needs a CircuitTemplate, got {template!r}"
+        )
+    omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
+    structure, columns, n_points = _param_columns(template, params)
+
+    input_source = _resolve_input_source(template.circuit, input_source)
+    b = np.zeros(structure.size, dtype=complex)
+    b[structure.current_row(input_source)] = 1.0
+
+    g_data, c_data = structure.revalue_many(columns)
+    pattern = structure.combined_pattern()
+    backend = resolve_backend(backend, pattern.scaled(1.0 + 0.0j))
+    factorizer = backend.factorizer(pattern)
+
+    rec_rows = _recorded_rows(structure, record)
+    states = np.empty((n_points, omegas.size, rec_rows.size), dtype=complex)
+
+    # Points with identical revalued data share their whole sweep.
+    seen: dict[bytes, int] = {}
+    for j in range(n_points):
+        key = g_data[j].tobytes() + c_data[j].tobytes()
+        first = seen.setdefault(key, j)
+        if first != j:
+            states[j] = states[first]
+            continue
+        g_j = g_data[j].astype(complex)
+        c_j = c_data[j]
+        for k, w in enumerate(omegas):
+            data = np.concatenate([g_j, 1j * w * c_j])
+            try:
+                x = factorizer.refactorize(data).solve(b)
+            except SimulationError as exc:
+                raise SimulationError(
+                    f"singular AC system at omega = {w:g} (batch point {j})"
+                ) from exc
+            states[j, k] = x[rec_rows]
+    return AcBatchResult(
+        omegas=omegas,
+        states=states,
+        structure=structure,
+        recorded_rows=tuple(int(r) for r in rec_rows),
     )

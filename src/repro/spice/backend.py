@@ -11,7 +11,19 @@ a problem SPICE-class tools solve in O(n).
 
 This module abstracts the "factor once, solve many" step behind
 :class:`SimulationBackend` so transient, AC and DC analyses can share
-one of three interchangeable implementations:
+one of three interchangeable implementations.  For revaluation-heavy
+workloads (parameter sweeps over a fixed topology, AC sweeps over a
+fixed pattern) each backend additionally exposes a
+:class:`PatternFactorizer` via :meth:`SimulationBackend.factorizer`:
+the structure-dependent work -- the RCM reordering and banded index
+maps, the COO-to-CSC duplicate-summing map feeding SuperLU, the dense
+scatter pattern -- is done once per sparsity pattern, and
+:meth:`PatternFactorizer.refactorize` then accepts fresh COO ``data``
+arrays and performs only the numeric factorization.  Factorizations
+solve one right-hand side (:meth:`LinearFactorization.solve`) or a
+whole ``(n, k)`` block at once (:meth:`LinearFactorization.solve_many`).
+
+The three implementations:
 
 ``dense``
     :func:`scipy.linalg.lu_factor` on the materialized matrix -- the
@@ -56,6 +68,7 @@ from repro.errors import ParameterError, SimulationError
 __all__ = [
     "CooMatrix",
     "LinearFactorization",
+    "PatternFactorizer",
     "SimulationBackend",
     "DenseLuBackend",
     "SparseLuBackend",
@@ -127,6 +140,72 @@ class CooMatrix:
         )
 
 
+def _compressed_dedup_map(
+    major: np.ndarray, minor: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, int, np.ndarray, np.ndarray]:
+    """Triplet-to-compressed-sparse index map for one frozen pattern.
+
+    Sorts entry positions by ``(major, minor)`` axis (rows for CSR,
+    columns for CSC), collapses duplicates, and returns
+    ``(order, slot, n_unique, indices, indptr)``: feed a data array
+    through :func:`_scatter_dedup` with ``order``/``slot`` to obtain
+    canonical compressed-sparse data in one scatter-add.
+    """
+    order = np.lexsort((minor, major))
+    major_sorted = major[order]
+    minor_sorted = minor[order]
+    if order.size:
+        first = np.empty(order.size, dtype=bool)
+        first[0] = True
+        first[1:] = (np.diff(major_sorted) != 0) | (np.diff(minor_sorted) != 0)
+    else:
+        first = np.empty(0, dtype=bool)
+    slot = np.cumsum(first) - 1 if order.size else order
+    indices = minor_sorted[first].astype(np.int32, copy=False)
+    counts = np.bincount(major_sorted[first], minlength=n)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int32, copy=False)
+    return order, slot, int(first.sum()), indices, indptr
+
+
+def _scatter_dedup(
+    order: np.ndarray, slot: np.ndarray, n_unique: int, data: np.ndarray
+) -> np.ndarray:
+    """Accumulate triplet ``data`` into its deduplicated sparse slots."""
+    data = np.asarray(data)
+    if np.iscomplexobj(data):
+        acc = np.zeros(n_unique, dtype=data.dtype)
+        np.add.at(acc, slot, data[order])
+        return acc
+    return np.bincount(slot, weights=data[order], minlength=n_unique)
+
+
+class _PatternCsr:
+    """CSR assembly map for one COO pattern, reused across revaluations.
+
+    ``scipy.sparse.csr_matrix`` construction from triplets re-sorts and
+    re-deduplicates on every call; for revaluation loops over a frozen
+    pattern this map hoists that work out, so each new ``data`` array
+    becomes a canonical CSR matrix in one scatter-add.
+    """
+
+    def __init__(self, pattern: CooMatrix) -> None:
+        self._shape = pattern.shape
+        (
+            self._order,
+            self._slot,
+            self._n_unique,
+            self._indices,
+            self._indptr,
+        ) = _compressed_dedup_map(pattern.rows, pattern.cols, pattern.shape[0])
+
+    def matrix(self, data: np.ndarray) -> scipy.sparse.csr_matrix:
+        """Canonical CSR matrix for one revaluation of the pattern."""
+        acc = _scatter_dedup(self._order, self._slot, self._n_unique, data)
+        return scipy.sparse.csr_matrix(
+            (acc, self._indices, self._indptr), shape=self._shape
+        )
+
+
 def combine(*terms: tuple[float, CooMatrix]) -> CooMatrix:
     """Weighted sum ``sum(w_k * A_k)`` of same-shape COO matrices.
 
@@ -190,6 +269,58 @@ class LinearFactorization(abc.ABC):
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` for one right-hand side."""
 
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A X = rhs`` for a block of right-hand sides.
+
+        ``rhs`` has shape ``(n, k)`` (or ``(n,)``, treated as one
+        column); the result has the same shape.  The base
+        implementation loops over columns; the built-in backends
+        override it with a single vectorized LAPACK/SuperLU call.
+        """
+        rhs = np.asarray(rhs)
+        if rhs.ndim == 1:
+            return self.solve(rhs)
+        if rhs.shape[1] == 0:
+            return rhs.copy()
+        return np.stack(
+            [self.solve(rhs[:, k]) for k in range(rhs.shape[1])], axis=1
+        )
+
+
+class PatternFactorizer(abc.ABC):
+    """Per-pattern symbolic/structural state, reused across revaluations.
+
+    Obtained from :meth:`SimulationBackend.factorizer` for one COO
+    sparsity pattern (``rows``/``cols``/``shape``; the data of the
+    matrix handed over is ignored).  Each :meth:`refactorize` call then
+    maps a fresh ``data`` array -- same triplet order -- to a
+    :class:`LinearFactorization`, repeating only the numeric work.
+    """
+
+    @abc.abstractmethod
+    def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        """Numerically factor the pattern with new entry values.
+
+        Raises
+        ------
+        SimulationError
+            If the revalued matrix is exactly singular.
+        """
+
+
+class _OneShotFactorizer(PatternFactorizer):
+    """Fallback factorizer: re-runs the backend's full factorize."""
+
+    def __init__(self, backend: "SimulationBackend", pattern: CooMatrix) -> None:
+        self._backend = backend
+        self._pattern = pattern
+
+    def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        matrix = CooMatrix(
+            self._pattern.rows, self._pattern.cols, data, self._pattern.shape
+        )
+        return self._backend.factorize(matrix)
+
 
 class SimulationBackend(abc.ABC):
     """Strategy interface: how MNA linear systems are factored/solved."""
@@ -207,6 +338,17 @@ class SimulationBackend(abc.ABC):
             If the matrix is exactly singular.
         """
 
+    def factorizer(self, pattern: CooMatrix) -> PatternFactorizer:
+        """Structure-reusing factorizer for one sparsity pattern.
+
+        The default implementation simply re-runs :meth:`factorize` per
+        revaluation (correct for any backend); the built-in backends
+        override it to hoist their pattern-dependent work -- RCM
+        profiles and banded index maps, COO-to-CSC duplicate-summing
+        maps, dense scatter indices -- out of the revaluation loop.
+        """
+        return _OneShotFactorizer(self, pattern)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -221,6 +363,30 @@ class _DenseFactorization(LinearFactorization):
             (self._lu, self._piv), rhs, check_finite=False
         )
 
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Single ``*getrs`` call over the whole ``(n, k)`` block."""
+        return self.solve(np.asarray(rhs))
+
+
+class _DenseFactorizer(PatternFactorizer):
+    def __init__(self, pattern: CooMatrix) -> None:
+        self._rows = pattern.rows
+        self._cols = pattern.cols
+        self._shape = pattern.shape
+
+    def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        data = np.asarray(data)
+        dense = np.zeros(self._shape, dtype=data.dtype)
+        np.add.at(dense, (self._rows, self._cols), data)
+        with warnings.catch_warnings():
+            # An exactly zero pivot makes lu_factor warn instead of
+            # raise; singularity is detected (and raised) below.
+            warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
+            lu, piv = scipy.linalg.lu_factor(dense, check_finite=False)
+        if self._shape[0] and np.any(np.diagonal(lu) == 0.0):
+            raise SimulationError("singular matrix (dense LU: zero pivot)")
+        return _DenseFactorization(lu, piv)
+
 
 class DenseLuBackend(SimulationBackend):
     """Reference implementation: dense LAPACK LU (``*getrf``/``*getrs``)."""
@@ -228,15 +394,11 @@ class DenseLuBackend(SimulationBackend):
     name = "dense"
 
     def factorize(self, matrix: CooMatrix) -> LinearFactorization:
-        dense = matrix.to_dense()
-        with warnings.catch_warnings():
-            # An exactly zero pivot makes lu_factor warn instead of
-            # raise; singularity is detected (and raised) below.
-            warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
-            lu, piv = scipy.linalg.lu_factor(dense, check_finite=False)
-        if matrix.shape[0] and np.any(np.diagonal(lu) == 0.0):
-            raise SimulationError("singular matrix (dense LU: zero pivot)")
-        return _DenseFactorization(lu, piv)
+        return self.factorizer(matrix).refactorize(matrix.data)
+
+    def factorizer(self, pattern: CooMatrix) -> PatternFactorizer:
+        """Dense scatter pattern; refactorize rebuilds and refactors."""
+        return _DenseFactorizer(pattern)
 
 
 class _SparseFactorization(LinearFactorization):
@@ -247,6 +409,43 @@ class _SparseFactorization(LinearFactorization):
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         return self._lu.solve(np.asarray(rhs, dtype=self._dtype))
 
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Single SuperLU solve over the whole ``(n, k)`` block."""
+        return self.solve(np.asarray(rhs))
+
+
+class _SparseFactorizer(PatternFactorizer):
+    """COO-to-CSC duplicate-summing map computed once per pattern.
+
+    SuperLU's symbolic analysis is not exposed for reuse by SciPy, but
+    the assembly that feeds it is: the lexsort of the triplets, the
+    unique-entry index map, and the CSC ``indices``/``indptr`` arrays
+    depend only on the pattern and are hoisted here; each refactorize
+    is then one scatter-add plus the numeric ``splu``.
+    """
+
+    def __init__(self, pattern: CooMatrix) -> None:
+        self._shape = pattern.shape
+        # CSC: columns are the compressed (major) axis.
+        (
+            self._order,
+            self._slot,
+            self._n_unique,
+            self._indices,
+            self._indptr,
+        ) = _compressed_dedup_map(pattern.cols, pattern.rows, pattern.shape[0])
+
+    def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        acc = _scatter_dedup(self._order, self._slot, self._n_unique, data)
+        csc = scipy.sparse.csc_matrix(
+            (acc, self._indices, self._indptr), shape=self._shape
+        )
+        try:
+            lu = scipy.sparse.linalg.splu(csc)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            raise SimulationError(f"singular matrix (sparse LU: {exc})") from exc
+        return _SparseFactorization(lu, csc.dtype)
+
 
 class SparseLuBackend(SimulationBackend):
     """CSC + SuperLU (:func:`scipy.sparse.linalg.splu`)."""
@@ -254,12 +453,11 @@ class SparseLuBackend(SimulationBackend):
     name = "sparse"
 
     def factorize(self, matrix: CooMatrix) -> LinearFactorization:
-        csc = matrix.to_csc()
-        try:
-            lu = scipy.sparse.linalg.splu(csc)
-        except RuntimeError as exc:  # "Factor is exactly singular"
-            raise SimulationError(f"singular matrix (sparse LU: {exc})") from exc
-        return _SparseFactorization(lu, csc.dtype)
+        return self.factorizer(matrix).refactorize(matrix.data)
+
+    def factorizer(self, pattern: CooMatrix) -> PatternFactorizer:
+        """CSC assembly map reused across revaluations of one pattern."""
+        return _SparseFactorizer(pattern)
 
 
 class _BandedFactorization(LinearFactorization):
@@ -282,6 +480,10 @@ class _BandedFactorization(LinearFactorization):
         out = np.empty_like(x)
         out[self._perm] = x
         return out
+
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Single multi-RHS ``*gbtrs`` call over the ``(n, k)`` block."""
+        return self.solve(np.asarray(rhs))
 
 
 class BandedLuBackend(SimulationBackend):
@@ -320,17 +522,50 @@ class BandedLuBackend(SimulationBackend):
         self._memo = (self._pattern_key(matrix), profile)
 
     def factorize(self, matrix: CooMatrix) -> LinearFactorization:
-        n = matrix.shape[0]
-        profile = self._profile_for(matrix)
+        return self.factorizer(matrix).refactorize(matrix.data)
+
+    def factorizer(self, pattern: CooMatrix) -> PatternFactorizer:
+        """RCM profile and banded index map reused across revaluations."""
+        return _BandedFactorizer(pattern, self._profile_for(pattern))
+
+
+class _BandedFactorizer(PatternFactorizer):
+    """Permutation + banded scatter indices computed once per pattern."""
+
+    def __init__(self, pattern: CooMatrix, profile: BandProfile) -> None:
+        n = pattern.shape[0]
         inverse = np.empty(n, dtype=np.intp)
         inverse[profile.perm] = np.arange(n, dtype=np.intp)
-        prows = inverse[matrix.rows]
-        pcols = inverse[matrix.cols]
+        prows = inverse[pattern.rows]
+        pcols = inverse[pattern.cols]
         kl, ku = profile.kl, profile.ku
+        self._n = n
+        self._kl = kl
+        self._ku = ku
+        self._perm = profile.perm
         # LAPACK banded storage with kl extra rows for pivoting fill:
-        # A[i, j] lives at ab[kl + ku + i - j, j].
-        ab = np.zeros((2 * kl + ku + 1, n), dtype=matrix.data.dtype)
-        np.add.at(ab, (kl + ku + prows - pcols, pcols), matrix.data)
+        # A[i, j] lives at ab[kl + ku + i - j, j]; flattened indices feed
+        # a bincount-based scatter-add (measurably faster than np.add.at
+        # in revaluation-heavy loops).
+        self._band_flat = (kl + ku + prows - pcols) * n + pcols
+
+    def _assemble(self, data: np.ndarray) -> np.ndarray:
+        kl, ku, n = self._kl, self._ku, self._n
+        length = (2 * kl + ku + 1) * n
+        if np.iscomplexobj(data):
+            ab = np.bincount(
+                self._band_flat, weights=data.real, minlength=length
+            ) + 1j * np.bincount(
+                self._band_flat, weights=data.imag, minlength=length
+            )
+        else:
+            ab = np.bincount(self._band_flat, weights=data, minlength=length)
+        return ab.reshape(2 * kl + ku + 1, n)
+
+    def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        data = np.asarray(data)
+        kl, ku = self._kl, self._ku
+        ab = self._assemble(data)
         gbtrf, gbtrs = get_lapack_funcs(("gbtrf", "gbtrs"), (ab,))
         lu_band, piv, info = gbtrf(ab, kl, ku)
         if info > 0:
@@ -340,7 +575,7 @@ class BandedLuBackend(SimulationBackend):
         if info < 0:  # pragma: no cover - argument error, not data-driven
             raise SimulationError(f"banded factorization failed (info={info})")
         return _BandedFactorization(
-            lu_band, piv, kl, ku, profile.perm, gbtrs, ab.dtype
+            lu_band, piv, kl, ku, self._perm, gbtrs, ab.dtype
         )
 
 

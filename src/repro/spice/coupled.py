@@ -13,7 +13,10 @@ two-line special case of the general N-line bus builder:
 delegates to :func:`~repro.bus.builder.build_bus_circuit`, keeping the
 legacy ``a``/``v`` node names (``tests/test_bus.py`` pins the two paths
 to <= 1e-9 relative state agreement against a frozen reference
-netlist).
+netlist).  For value-only sweeps over a pair with *equal* driver
+resistances, :meth:`CoupledLadderSpec.as_bus_spec` feeds
+:func:`~repro.bus.builder.build_bus_template` directly, putting
+coupled-pair studies on the batched stamp-once / re-value-many path.
 
 Used by :mod:`repro.analysis.crosstalk` for noise and switching-delay
 studies, and exercised end-to-end in ``examples/crosstalk.py``.

@@ -36,17 +36,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.errors import ParameterError, require_nonnegative, require_positive
-from repro.spice.netlist import Circuit, Step
+from repro.spice.mna import CircuitTemplate
+from repro.spice.netlist import Circuit, Param, Step
 from repro.spice.statespace import StateSpace
 
 __all__ = [
     "LadderTopology",
     "LadderSpec",
     "build_ladder_circuit",
+    "build_ladder_template",
     "build_ladder_state_space",
 ]
 
@@ -118,38 +121,91 @@ class LadderSpec:
 
     def _chain(self) -> _Chain:
         """Reduce the topology to the flat chain description."""
-        n = self.n_segments
-        r_seg = self.rt / n
-        l_seg = self.lt / n
-        c_seg = self.ct / n
-
-        if self.topology is LadderTopology.L:
-            r = np.full(n, r_seg)
-            lind = np.full(n, l_seg)
-            caps = np.concatenate(([0.0], np.full(n, c_seg)))
-        elif self.topology is LadderTopology.PI:
-            r = np.full(n, r_seg)
-            lind = np.full(n, l_seg)
-            caps = np.concatenate(([c_seg / 2], np.full(n - 1, c_seg), [c_seg / 2]))
-        else:  # T
-            if self.cl > 0:
-                # half | C | full | ... | C | half, load cap at the far end.
-                r = np.full(n + 1, r_seg)
-                lind = np.full(n + 1, l_seg)
-                r[0] = r[-1] = r_seg / 2
-                lind[0] = lind[-1] = l_seg / 2
-                caps = np.concatenate(([0.0], np.full(n, c_seg), [0.0]))
-            else:
-                # Open far end: the trailing half-branch carries no current
-                # and is dropped exactly; the far node is the last mid-cap.
-                r = np.full(n, r_seg)
-                lind = np.full(n, l_seg)
-                r[0] = r_seg / 2
-                lind[0] = l_seg / 2
-                caps = np.concatenate(([0.0], np.full(n, c_seg)))
-        caps = caps.copy()
+        branch_w, cap_w = _chain_weights(
+            self.n_segments, self.topology, loaded=self.cl > 0
+        )
+        r = self.rt * np.asarray(branch_w)
+        lind = self.lt * np.asarray(branch_w)
+        caps = self.ct * np.asarray(cap_w)
         caps[-1] += self.cl
         return _Chain(r=r, l=lind, caps=caps)
+
+
+def _chain_weights(
+    n: int, topology: LadderTopology, loaded: bool
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Per-position weights of the flat chain, as fractions of the totals.
+
+    Returns ``(branch_weights, cap_weights)``: branch ``i`` carries
+    ``branch_weights[i] * (Rt, Lt)`` and position ``k`` carries
+    ``cap_weights[k] * Ct`` (the load capacitance is *not* folded in
+    here).  This single source of truth feeds both the numeric
+    :meth:`LadderSpec._chain` and the parameterized
+    :func:`build_ladder_template`.
+    """
+    topology = LadderTopology(topology)
+    seg = 1.0 / n
+    if topology is LadderTopology.L:
+        branch = (seg,) * n
+        caps = (0.0,) + (seg,) * n
+    elif topology is LadderTopology.PI:
+        branch = (seg,) * n
+        caps = (seg / 2,) + (seg,) * (n - 1) + (seg / 2,)
+    elif loaded:
+        # T, loaded far end: half | C | full | ... | C | half.
+        branch = (seg / 2,) + (seg,) * (n - 1) + (seg / 2,)
+        caps = (0.0,) + (seg,) * n + (0.0,)
+    else:
+        # T, open far end: the trailing half-branch carries no current
+        # and is dropped exactly; the far node is the last mid-cap.
+        branch = (seg / 2,) + (seg,) * (n - 1)
+        caps = (0.0,) + (seg,) * n
+    return branch, caps
+
+
+@lru_cache(maxsize=64)
+def build_ladder_template(
+    n_segments: int = 64,
+    topology: LadderTopology | str = LadderTopology.PI,
+    loaded: bool = True,
+    v_step: float = 1.0,
+) -> CircuitTemplate:
+    """Parameterized ladder: structure fixed, element values as Params.
+
+    The stamp-once / re-value-many view of
+    :func:`build_ladder_circuit`: one template serves every
+    ``(rt, lt, ct, rtr, cl)`` combination that shares the segment count
+    and topology.  Parameter slots are ``rt``, ``lt``, ``ct``, ``rtr``
+    and -- when ``loaded`` -- ``cl``; the far-end capacitor merges its
+    ``ct`` share with ``cl`` exactly as the concrete builder does.
+
+    ``loaded`` selects the ``cl > 0`` structure (a load capacitor at
+    the far end; for the T topology also the trailing half-branch) --
+    it must match the circuits being modeled, because zero-vs-nonzero
+    ``cl`` is a *structural* difference for T ladders.
+
+    Results are memoized per ``(n_segments, topology, loaded, v_step)``,
+    so repeated calls (e.g. one per sweep chunk) reuse the cached MNA
+    structure.
+    """
+    topology = LadderTopology(topology)
+    branch_w, cap_w = _chain_weights(n_segments, topology, loaded)
+    ckt = Circuit(
+        f"RLC ladder template {topology.value} n={n_segments}"
+    )
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, v_step))
+    ckt.add_resistor("rtr", "in", "n0", Param("rtr"))
+    for i, w in enumerate(branch_w):
+        ckt.add_resistor(f"r{i + 1}", f"n{i}", f"x{i + 1}", Param("rt", w))
+        ckt.add_inductor(f"l{i + 1}", f"x{i + 1}", f"n{i + 1}", Param("lt", w))
+    last = len(cap_w) - 1
+    for k, w in enumerate(cap_w):
+        value = Param("ct", w) if w > 0 else None
+        if k == last and loaded:
+            value = value + Param("cl") if value is not None else Param("cl")
+        if value is not None:
+            ckt.add_capacitor(f"c{k}", f"n{k}", "0", value)
+    return CircuitTemplate(ckt)
 
 
 def build_ladder_circuit(spec: LadderSpec, v_step: float = 1.0) -> Circuit:
@@ -158,21 +214,26 @@ def build_ladder_circuit(spec: LadderSpec, v_step: float = 1.0) -> Circuit:
     Node names: ``in`` (source), ``n0`` (after ``Rtr``, the line input),
     ``n1 .. n{nb}`` along the chain; ``spec.output_node`` is the far end.
     Internal nodes ``x{i}`` split each branch's R from its L.
+
+    This is a thin ``template.bind(...)`` wrapper over
+    :func:`build_ladder_template`; the template path and this concrete
+    path are therefore structurally identical by construction (and
+    regression-pinned to <= 1e-12 agreement in the equivalence suite).
     """
-    chain = spec._chain()
-    ckt = Circuit(
-        f"RLC ladder {spec.topology.value} n={spec.n_segments} "
-        f"(Rt={spec.rt:g}, Lt={spec.lt:g}, Ct={spec.ct:g})"
+    loaded = spec.cl > 0
+    template = build_ladder_template(
+        spec.n_segments, spec.topology, loaded=loaded, v_step=v_step
     )
-    ckt.add_voltage_source("vin", "in", "0", Step(0.0, v_step))
-    ckt.add_resistor("rtr", "in", "n0", spec.rtr)
-    for i in range(chain.n_branches):
-        ckt.add_resistor(f"r{i + 1}", f"n{i}", f"x{i + 1}", chain.r[i])
-        ckt.add_inductor(f"l{i + 1}", f"x{i + 1}", f"n{i + 1}", chain.l[i])
-    for k, cap in enumerate(chain.caps):
-        if cap > 0:
-            ckt.add_capacitor(f"c{k}", f"n{k}", "0", cap)
-    return ckt
+    params = {"rt": spec.rt, "lt": spec.lt, "ct": spec.ct, "rtr": spec.rtr}
+    if loaded:
+        params["cl"] = spec.cl
+    return template.bind(
+        params,
+        title=(
+            f"RLC ladder {spec.topology.value} n={spec.n_segments} "
+            f"(Rt={spec.rt:g}, Lt={spec.lt:g}, Ct={spec.ct:g})"
+        ),
+    )
 
 
 def build_ladder_state_space(spec: LadderSpec) -> StateSpace:

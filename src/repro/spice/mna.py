@@ -22,7 +22,26 @@ V source           KCL: ``G[i,m] += 1``, ``G[j,m] -= 1``;
 I source           ``b[i] -= I(t)``, ``b[j] += I(t)``
 =================  =====================================================
 
-Assembly is *backend-neutral*: stamps accumulate as COO triplets
+Assembly is split into a *structural* pass and a *numeric* pass
+(the stamp-once / re-value-many design):
+
+- :func:`build_mna_structure` walks the netlist once and produces an
+  :class:`MnaStructure`: the frozen COO sparsity pattern, the node and
+  branch index maps, the source slots, and -- for every element value
+  declared as a :class:`~repro.spice.netlist.Param` -- the bookkeeping
+  needed to rewrite just the COO ``data`` arrays for new values.
+- :meth:`MnaStructure.revalue` maps a ``{param: value}`` dict to fresh
+  ``(g_data, c_data)`` arrays in O(nnz) NumPy work, with no Python loop
+  over elements; :meth:`MnaStructure.revalue_many` does the same for a
+  whole batch of parameter points at once.
+
+:func:`build_mna` (the historical entry point) is now a thin
+composition of the two passes and returns the same
+:class:`MnaSystem` as always.  :class:`CircuitTemplate` packages a
+parameterized circuit with its structure and can ``bind`` concrete
+netlists or emit revalued systems directly.
+
+Stamps accumulate as COO triplets
 (:class:`~repro.spice.backend.CooMatrix`), the form every
 :class:`~repro.spice.backend.SimulationBackend` consumes directly.
 Dense ``(n, n)`` arrays are materialized lazily -- and only on demand --
@@ -33,13 +52,14 @@ explicitly asks for one.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.errors import NetlistError
+from repro.errors import NetlistError, ParameterError
 from repro.spice.backend import CooMatrix, combine
 from repro.spice.netlist import (
     GROUND,
@@ -50,13 +70,23 @@ from repro.spice.netlist import (
     CurrentSource,
     Element,
     Inductor,
+    Param,
+    ParamAffine,
     Resistor,
     VoltageControlledCurrentSource,
     VoltageControlledVoltageSource,
     VoltageSource,
+    is_parametric,
+    resolve_value,
 )
 
-__all__ = ["MnaSystem", "build_mna"]
+__all__ = [
+    "MnaSystem",
+    "MnaStructure",
+    "CircuitTemplate",
+    "build_mna",
+    "build_mna_structure",
+]
 
 
 @dataclass(frozen=True)
@@ -130,28 +160,364 @@ class MnaSystem:
 
     def voltage_row(self, node) -> int:
         """Row index of a node voltage (raises for unknown nodes)."""
-        from repro.spice.netlist import canonical_node
-
-        name = canonical_node(node)
-        if name == GROUND:
-            raise NetlistError("ground has no MNA row (its voltage is 0)")
-        try:
-            return self.node_index[name]
-        except KeyError:
-            raise NetlistError(f"unknown node {name!r}") from None
+        return _voltage_row(self.node_index, node)
 
     def current_row(self, element_name: str) -> int:
         """Row index of a branch current (V sources and inductors only)."""
-        try:
-            return self.branch_index[element_name]
-        except KeyError:
+        return _current_row(self.branch_index, element_name)
+
+
+def _voltage_row(node_index: Mapping[str, int], node) -> int:
+    from repro.spice.netlist import canonical_node
+
+    name = canonical_node(node)
+    if name == GROUND:
+        raise NetlistError("ground has no MNA row (its voltage is 0)")
+    try:
+        return node_index[name]
+    except KeyError:
+        raise NetlistError(f"unknown node {name!r}") from None
+
+
+def _current_row(branch_index: Mapping[str, int], element_name: str) -> int:
+    try:
+        return branch_index[element_name]
+    except KeyError:
+        raise NetlistError(
+            f"element {element_name!r} has no branch current"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Structural pass: pattern + revaluation plans
+# ---------------------------------------------------------------------------
+
+# Value-expression keys.  Each parameter-dependent COO entry belongs to
+# one or more *groups*; a group is a scalar expression of the parameter
+# values plus per-entry coefficients:
+#
+#   ("lin", p)         ->  params[p]           (capacitors, inductors)
+#   ("inv", p)         ->  1 / params[p]       (resistor conductances)
+#   ("sqrt", p)        ->  sqrt(params[p])     (mutuals, one L concrete)
+#   ("sqrtprod", p, q) ->  sqrt(params[p] * params[q])   (mutuals)
+#
+# revalue() evaluates each key once (scalar or batched) and applies
+# ``data[idx] += coeffs * value`` per group -- O(nnz) with no Python
+# loop over elements.
+
+
+def _key_value(key: tuple, get):
+    """Evaluate one expression key; ``get(name)`` is scalar or array."""
+    kind = key[0]
+    if kind == "lin":
+        return get(key[1])
+    if kind == "inv":
+        return 1.0 / get(key[1])
+    if kind == "sqrt":
+        return np.sqrt(get(key[1]))
+    return np.sqrt(get(key[1]) * get(key[2]))
+
+
+class _PlanBuilder:
+    """Accumulates one matrix's constant triplets and param groups."""
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.const: list[float] = []
+        self.groups: dict[tuple, tuple[list[int], list[float]]] = {}
+
+    def add_const(self, row: int, col: int, value: float) -> None:
+        self.rows.append(row)
+        self.cols.append(col)
+        self.const.append(value)
+
+    def add_entry(self, row: int, col: int, const: float, terms) -> None:
+        """One entry with a constant part plus ``(key, coeff)`` terms."""
+        index = len(self.rows)
+        self.add_const(row, col, const)
+        for key, coeff in terms:
+            idx, coeffs = self.groups.setdefault(key, ([], []))
+            idx.append(index)
+            coeffs.append(coeff)
+
+    def finish(self, size: int) -> "_MatrixPlan":
+        if self.rows:
+            rows = np.asarray(self.rows, dtype=np.intp)
+            cols = np.asarray(self.cols, dtype=np.intp)
+            const = np.asarray(self.const, dtype=float)
+        else:
+            rows = cols = np.empty(0, dtype=np.intp)
+            const = np.empty(0, dtype=float)
+        groups = tuple(
+            (key, np.asarray(idx, dtype=np.intp), np.asarray(coeffs, dtype=float))
+            for key, (idx, coeffs) in self.groups.items()
+        )
+        return _MatrixPlan(rows=rows, cols=cols, const=const, groups=groups, size=size)
+
+
+@dataclass(frozen=True)
+class _MatrixPlan:
+    """One MNA matrix as a frozen pattern plus a revaluation recipe.
+
+    ``const`` holds the concrete stamp values with zeros at every
+    parameter-dependent slot; each group ``(key, idx, coeffs)`` adds
+    ``coeffs * expr(key)`` into ``data[idx]`` during revaluation.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    const: np.ndarray
+    groups: tuple[tuple[tuple, np.ndarray, np.ndarray], ...]
+    size: int
+
+    @property
+    def nnz(self) -> int:
+        return self.const.size
+
+    def pattern(self) -> CooMatrix:
+        """The sparsity pattern as a CooMatrix (param slots hold 0)."""
+        return CooMatrix(self.rows, self.cols, self.const, (self.size, self.size))
+
+    def data(self, get) -> np.ndarray:
+        """Data array for one parameter point; ``get(name) -> float``."""
+        out = self.const.copy()
+        for key, idx, coeffs in self.groups:
+            out[idx] += coeffs * _key_value(key, get)
+        return out
+
+    def data_many(self, get, n_points: int) -> np.ndarray:
+        """``(n_points, nnz)`` data; ``get(name) -> (n_points,) array``."""
+        out = np.tile(self.const, (n_points, 1))
+        for key, idx, coeffs in self.groups:
+            out[:, idx] += coeffs[None, :] * np.asarray(
+                _key_value(key, get), dtype=float
+            )[:, None]
+        return out
+
+
+@dataclass(frozen=True)
+class MnaStructure:
+    """The structural half of an MNA system: pattern, maps, revaluation.
+
+    Produced by :func:`build_mna_structure`.  Everything here depends
+    only on the circuit's *topology* (which elements connect which
+    nodes) -- never on the element values -- so one structure serves
+    arbitrarily many parameter points:
+
+    - the COO sparsity patterns of ``G`` and ``C`` (param slots appear
+      as explicit entries holding 0),
+    - the node-name / branch-name to row-index maps,
+    - the independent-source slots, and
+    - the revaluation recipes that turn a ``{param: value}`` mapping
+      into fresh COO ``data`` arrays without touching the pattern.
+
+    Attributes
+    ----------
+    node_index, branch_index:
+        Row-index maps (as on :class:`MnaSystem`).
+    source_rows:
+        ``(row, sign, waveform)`` triples for ``b(t)``.
+    param_names:
+        Sorted names of every parameter slot; empty for a concrete
+        circuit.
+    """
+
+    g_plan: _MatrixPlan
+    c_plan: _MatrixPlan
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    source_rows: tuple[tuple[int, float, Callable], ...]
+    param_names: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Total number of MNA unknowns."""
+        return self.g_plan.size
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self.node_index)
+
+    def voltage_row(self, node) -> int:
+        """Row index of a node voltage (raises for unknown nodes)."""
+        return _voltage_row(self.node_index, node)
+
+    def current_row(self, element_name: str) -> int:
+        """Row index of a branch current (V sources and inductors only)."""
+        return _current_row(self.branch_index, element_name)
+
+    def g_pattern(self) -> CooMatrix:
+        """Sparsity pattern of ``G`` (parameter slots hold 0)."""
+        return self.g_plan.pattern()
+
+    def c_pattern(self) -> CooMatrix:
+        """Sparsity pattern of ``C`` (parameter slots hold 0)."""
+        return self.c_plan.pattern()
+
+    def combined_pattern(self) -> CooMatrix:
+        """Union pattern ``[G; C]`` in the canonical concatenation order.
+
+        The data layout matches ``concatenate([g_data, c_data])``: a
+        weighted combination ``a*G + b*C`` for this pattern is exactly
+        ``concatenate([a * g_data, b * c_data])``.
+        """
+        n = self.size
+        return CooMatrix(
+            np.concatenate([self.g_plan.rows, self.c_plan.rows]),
+            np.concatenate([self.g_plan.cols, self.c_plan.cols]),
+            np.concatenate([self.g_plan.const, self.c_plan.const]),
+            (n, n),
+        )
+
+    def _check_params(self, params: Mapping[str, float] | None) -> dict[str, float]:
+        params = dict(params or {})
+        missing = sorted(set(self.param_names) - set(params))
+        unknown = sorted(set(params) - set(self.param_names))
+        if missing:
+            raise ParameterError(f"missing parameter value(s): {missing}")
+        if unknown:
+            raise ParameterError(
+                f"unknown parameter(s) {unknown}; this structure has "
+                f"{list(self.param_names) or 'no parameters'}"
+            )
+        return params
+
+    def revalue(self, params: Mapping[str, float] | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """COO ``(g_data, c_data)`` for one parameter point.
+
+        This is the cheap numeric half of the stamp-once /
+        re-value-many split: O(nnz) array work, no netlist walk, no
+        re-validation.  ``params`` must provide exactly
+        :attr:`param_names` (missing or unknown names raise
+        :class:`~repro.errors.ParameterError`, as do values that stamp
+        non-finite entries, e.g. a zero resistance).
+        """
+        params = self._check_params(params)
+
+        def get(name: str) -> np.float64:
+            # np.float64 so a zero value inverts to inf (caught below)
+            # rather than raising ZeroDivisionError mid-assembly.
+            return np.float64(params[name])
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g_data = self.g_plan.data(get)
+            c_data = self.c_plan.data(get)
+        if not (np.isfinite(g_data).all() and np.isfinite(c_data).all()):
+            raise ParameterError(
+                f"parameter values {params!r} stamp non-finite matrix "
+                "entries (zero resistance or non-finite value?)"
+            )
+        return g_data, c_data
+
+    def revalue_many(self, columns: Mapping[str, np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`revalue`: ``(B, nnz_g)`` and ``(B, nnz_c)``.
+
+        ``columns`` maps each parameter name to a length-``B`` array
+        (scalars broadcast).  Row ``j`` of each output equals
+        ``revalue({name: columns[name][j]})`` exactly.
+        """
+        cols = {
+            name: np.asarray(value, dtype=float).ravel()
+            for name, value in dict(columns or {}).items()
+        }
+        self._check_params({name: 0.0 for name in cols})
+        sizes = {c.size for c in cols.values() if c.size != 1}
+        if len(sizes) > 1:
+            raise ParameterError(
+                f"parameter columns have mismatched lengths {sorted(sizes)}"
+            )
+        n_points = sizes.pop() if sizes else 1
+        full = {
+            name: np.broadcast_to(c, (n_points,)) for name, c in cols.items()
+        }
+
+        def get(name: str) -> np.ndarray:
+            return full[name]
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g_data = self.g_plan.data_many(get, n_points)
+            c_data = self.c_plan.data_many(get, n_points)
+        if not (np.isfinite(g_data).all() and np.isfinite(c_data).all()):
+            raise ParameterError(
+                "some parameter points stamp non-finite matrix entries "
+                "(zero resistance or non-finite value?)"
+            )
+        return g_data, c_data
+
+    def system(self, params: Mapping[str, float] | None = None) -> MnaSystem:
+        """Materialize an :class:`MnaSystem` at one parameter point."""
+        g_data, c_data = self.revalue(params)
+        n = self.size
+        return MnaSystem(
+            g_coo=CooMatrix(self.g_plan.rows, self.g_plan.cols, g_data, (n, n)),
+            c_coo=CooMatrix(self.c_plan.rows, self.c_plan.cols, c_data, (n, n)),
+            node_index=self.node_index,
+            branch_index=self.branch_index,
+            source_rows=self.source_rows,
+        )
+
+
+def _linear_terms(value) -> tuple[float, tuple[tuple[tuple, float], ...]]:
+    """Split a linearly-stamped value into ``(const, ((key, coeff), ...))``."""
+    if isinstance(value, Param):
+        return 0.0, ((("lin", value.name), value.scale),)
+    if isinstance(value, ParamAffine):
+        return value.const, tuple(
+            (("lin", name), coeff) for name, coeff in value.terms
+        )
+    return float(value), ()
+
+
+def _conductance_terms(element: Resistor) -> tuple[float, tuple[tuple[tuple, float], ...]]:
+    """Reciprocal stamp of a resistor value (float or single Param)."""
+    value = element.value
+    if isinstance(value, Param):
+        if value.scale <= 0:
             raise NetlistError(
-                f"element {element_name!r} has no branch current"
-            ) from None
+                f"resistor {element.name!r} parameter scale must be "
+                f"positive, got {value.scale}"
+            )
+        return 0.0, ((("inv", value.name), 1.0 / value.scale),)
+    return 1.0 / value, ()
 
 
-def build_mna(circuit: Circuit) -> MnaSystem:
-    """Assemble the MNA system for a validated circuit (COO form)."""
+def _mutual_terms(coupling: float, l1, l2) -> tuple[float, tuple[tuple[tuple, float], ...]]:
+    """``-M = -k * sqrt(L1 * L2)`` with either inductance parametric."""
+    for value in (l1, l2):
+        if isinstance(value, Param) and value.scale <= 0:
+            raise NetlistError(
+                "inductors coupled by a mutual inductance need positive "
+                f"parameter scales, got {value.scale}"
+            )
+    if isinstance(l1, Param) and isinstance(l2, Param):
+        coeff = -coupling * math.sqrt(l1.scale * l2.scale)
+        if l1.name == l2.name:
+            return 0.0, ((("lin", l1.name), coeff),)
+        p, q = sorted((l1.name, l2.name))
+        return 0.0, ((("sqrtprod", p, q), coeff),)
+    if isinstance(l1, Param) or isinstance(l2, Param):
+        param, concrete = (l1, l2) if isinstance(l1, Param) else (l2, l1)
+        coeff = -coupling * math.sqrt(param.scale * float(concrete))
+        return 0.0, ((("sqrt", param.name), coeff),)
+    return -coupling * math.sqrt(float(l1) * float(l2)), ()
+
+
+def build_mna_structure(circuit: Circuit) -> MnaStructure:
+    """Run the structural assembly pass over a validated circuit.
+
+    Walks the netlist exactly once, producing the frozen
+    :class:`MnaStructure` that :meth:`MnaStructure.revalue` (and the
+    batched analyses built on it) reuse for every parameter point.
+    Concrete circuits work too -- their structure simply has no
+    parameter groups, and :func:`build_mna` is implemented on top of
+    this pass.
+
+    Only resistor, capacitor and inductor values (and, through the
+    inductors, mutual-inductance stamps) may be parameterized;
+    controlled-source gains and source waveforms must be concrete.
+    """
     circuit.validate()
 
     nodes = circuit.node_names()
@@ -162,69 +528,85 @@ def build_mna(circuit: Circuit) -> MnaSystem:
     branch_index = {e.name: n + k for k, e in enumerate(branch_elements)}
     size = n + len(branch_elements)
 
-    g_entries: list[tuple[int, int, float]] = []
-    c_entries: list[tuple[int, int, float]] = []
+    g = _PlanBuilder()
+    c = _PlanBuilder()
     sources: list[tuple[int, float, Callable]] = []
 
     def idx(node: str) -> int | None:
         return None if node == GROUND else node_index[node]
 
-    def stamp_pair(entries: list, i, j, value: float) -> None:
-        """Conductance-style two-node stamp."""
+    def stamp_pair(plan: _PlanBuilder, i, j, const: float, terms) -> None:
+        """Conductance-style two-node stamp of a (possibly param) value."""
+        neg = tuple((key, -coeff) for key, coeff in terms)
         if i is not None:
-            entries.append((i, i, value))
+            plan.add_entry(i, i, const, terms)
         if j is not None:
-            entries.append((j, j, value))
+            plan.add_entry(j, j, const, terms)
         if i is not None and j is not None:
-            entries.append((i, j, -value))
-            entries.append((j, i, -value))
+            plan.add_entry(i, j, -const, neg)
+            plan.add_entry(j, i, -const, neg)
 
     def stamp_branch_topology(i, j, m: int) -> None:
         """KCL coupling + voltage constraint pattern shared by L and V."""
         if i is not None:
-            g_entries.append((i, m, 1.0))
-            g_entries.append((m, i, 1.0))
+            g.add_const(i, m, 1.0)
+            g.add_const(m, i, 1.0)
         if j is not None:
-            g_entries.append((j, m, -1.0))
-            g_entries.append((m, j, -1.0))
+            g.add_const(j, m, -1.0)
+            g.add_const(m, j, -1.0)
 
     def stamp_node_column(row: int, node: str, value: float) -> None:
         """``g[row, node] += value`` skipping ground."""
         col = idx(node)
         if col is not None:
-            g_entries.append((row, col, value))
+            g.add_const(row, col, value)
+
+    def require_concrete(element: Element, label: str, value) -> float:
+        if is_parametric(value):
+            raise NetlistError(
+                f"{label} of {element.name!r} cannot be a parameter; "
+                "only R, L and C values may use Param slots"
+            )
+        return float(value)
 
     for element in circuit.elements:
         i = idx(element.node_pos)
         j = idx(element.node_neg)
         if isinstance(element, Resistor):
-            stamp_pair(g_entries, i, j, 1.0 / element.value)
+            const, terms = _conductance_terms(element)
+            stamp_pair(g, i, j, const, terms)
         elif isinstance(element, Capacitor):
-            stamp_pair(c_entries, i, j, element.value)
+            const, terms = _linear_terms(element.value)
+            stamp_pair(c, i, j, const, terms)
         elif isinstance(element, Inductor):
             m = branch_index[element.name]
             stamp_branch_topology(i, j, m)
-            c_entries.append((m, m, -element.value))
+            const, terms = _linear_terms(element.value)
+            c.add_entry(m, m, -const, tuple((k, -co) for k, co in terms))
         elif isinstance(element, VoltageControlledVoltageSource):
             # v_i - v_j - gain*(v_cp - v_cn) = 0, plus KCL coupling.
+            gain = require_concrete(element, "gain", element.gain)
             m = branch_index[element.name]
             stamp_branch_topology(i, j, m)
-            stamp_node_column(m, element.ctrl_pos, -element.gain)
-            stamp_node_column(m, element.ctrl_neg, +element.gain)
+            stamp_node_column(m, element.ctrl_pos, -gain)
+            stamp_node_column(m, element.ctrl_neg, +gain)
         elif isinstance(element, CurrentControlledVoltageSource):
             # v_i - v_j - r * I(ctrl) = 0.
+            r = require_concrete(
+                element, "transresistance", element.transresistance
+            )
             m = branch_index[element.name]
             stamp_branch_topology(i, j, m)
-            g_entries.append(
-                (m, branch_index[element.ctrl_source], -element.transresistance)
-            )
+            g.add_const(m, branch_index[element.ctrl_source], -r)
         elif isinstance(element, VoltageSource):
             m = branch_index[element.name]
             stamp_branch_topology(i, j, m)
             sources.append((m, 1.0, element.waveform))
         elif isinstance(element, VoltageControlledCurrentSource):
             # gm*(v_cp - v_cn) leaves node_pos, enters node_neg.
-            gm = element.transconductance
+            gm = require_concrete(
+                element, "transconductance", element.transconductance
+            )
             if i is not None:
                 stamp_node_column(i, element.ctrl_pos, +gm)
                 stamp_node_column(i, element.ctrl_neg, -gm)
@@ -232,11 +614,12 @@ def build_mna(circuit: Circuit) -> MnaSystem:
                 stamp_node_column(j, element.ctrl_pos, -gm)
                 stamp_node_column(j, element.ctrl_neg, +gm)
         elif isinstance(element, CurrentControlledCurrentSource):
+            gain = require_concrete(element, "gain", element.gain)
             m_ctrl = branch_index[element.ctrl_source]
             if i is not None:
-                g_entries.append((i, m_ctrl, element.gain))
+                g.add_const(i, m_ctrl, gain)
             if j is not None:
-                g_entries.append((j, m_ctrl, -element.gain))
+                g.add_const(j, m_ctrl, -gain)
         elif isinstance(element, CurrentSource):
             if i is not None:
                 sources.append((i, -1.0, element.waveform))
@@ -253,25 +636,153 @@ def build_mna(circuit: Circuit) -> MnaSystem:
     for mutual in circuit.mutual_inductances:
         m1 = branch_index[mutual.inductor1]
         m2 = branch_index[mutual.inductor2]
-        mval = mutual.coupling * np.sqrt(
-            inductor_values[mutual.inductor1] * inductor_values[mutual.inductor2]
+        const, terms = _mutual_terms(
+            mutual.coupling,
+            inductor_values[mutual.inductor1],
+            inductor_values[mutual.inductor2],
         )
-        c_entries.append((m1, m2, -mval))
-        c_entries.append((m2, m1, -mval))
+        c.add_entry(m1, m2, const, terms)
+        c.add_entry(m2, m1, const, terms)
 
-    return MnaSystem(
-        g_coo=_to_coo(g_entries, size),
-        c_coo=_to_coo(c_entries, size),
+    return MnaStructure(
+        g_plan=g.finish(size),
+        c_plan=c.finish(size),
         node_index=node_index,
         branch_index=branch_index,
         source_rows=tuple(sources),
+        param_names=circuit.parameter_names(),
     )
 
 
-def _to_coo(entries: list[tuple[int, int, float]], size: int) -> CooMatrix:
-    if entries:
-        rows, cols, data = (np.asarray(seq) for seq in zip(*entries))
-    else:
-        rows = cols = np.empty(0, dtype=np.intp)
-        data = np.empty(0, dtype=float)
-    return CooMatrix(rows, cols, data, (size, size))
+def build_mna(circuit: Circuit) -> MnaSystem:
+    """Assemble the MNA system for a validated *concrete* circuit.
+
+    Composition of the structural and numeric passes; circuits holding
+    :class:`~repro.spice.netlist.Param` slots must go through
+    :class:`CircuitTemplate` (or :func:`build_mna_structure`) instead.
+    """
+    structure = build_mna_structure(circuit)
+    if structure.param_names:
+        raise NetlistError(
+            f"circuit has unbound parameters {list(structure.param_names)}; "
+            "wrap it in a CircuitTemplate (or bind values) before build_mna"
+        )
+    return structure.system()
+
+
+class CircuitTemplate:
+    """A parameterized circuit: structure stamped once, values per use.
+
+    Wraps a :class:`~repro.spice.netlist.Circuit` whose element values
+    may be :class:`~repro.spice.netlist.Param` slots, together with the
+    (lazily built, cached) :class:`MnaStructure` and optional default
+    parameter values.  The batched analyses
+    (:func:`~repro.spice.transient.simulate_transient_batch`,
+    :func:`~repro.spice.ac.ac_sweep_batch`) consume templates directly;
+    :meth:`bind` materializes ordinary concrete netlists for the scalar
+    entry points and for regression pinning.
+
+    Parameters
+    ----------
+    circuit:
+        The parameterized netlist (must contain at least one Param).
+    defaults:
+        Optional baseline parameter values; :meth:`bind` /
+        :meth:`system` overlay their ``params`` argument on top.
+    """
+
+    def __init__(
+        self, circuit: Circuit, defaults: Mapping[str, float] | None = None
+    ) -> None:
+        names = circuit.parameter_names()
+        if not names:
+            raise NetlistError(
+                "circuit has no parameter slots; use build_mna directly"
+            )
+        self._circuit = circuit
+        self._names = names
+        self._defaults = {}
+        for key, value in dict(defaults or {}).items():
+            if key not in names:
+                raise ParameterError(
+                    f"default for unknown parameter {key!r}; "
+                    f"template has {list(names)}"
+                )
+            self._defaults[key] = float(value)
+
+    @property
+    def circuit(self) -> Circuit:
+        """The underlying parameterized netlist."""
+        return self._circuit
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        """Sorted names of the template's parameter slots."""
+        return self._names
+
+    @property
+    def defaults(self) -> dict[str, float]:
+        """Copy of the default parameter values."""
+        return dict(self._defaults)
+
+    @cached_property
+    def structure(self) -> MnaStructure:
+        """The frozen MNA structure (built on first access, then cached)."""
+        return build_mna_structure(self._circuit)
+
+    def resolve_params(self, params: Mapping[str, float] | None = None) -> dict[str, float]:
+        """Defaults overlaid with ``params``; every slot must resolve."""
+        merged = dict(self._defaults)
+        for key, value in dict(params or {}).items():
+            if key not in self._names:
+                raise ParameterError(
+                    f"unknown parameter {key!r}; template has {list(self._names)}"
+                )
+            merged[key] = float(value)
+        missing = sorted(set(self._names) - set(merged))
+        if missing:
+            raise ParameterError(f"missing parameter value(s): {missing}")
+        return merged
+
+    def bind(
+        self,
+        params: Mapping[str, float] | None = None,
+        *,
+        title: str | None = None,
+    ) -> Circuit:
+        """Materialize a concrete :class:`~repro.spice.netlist.Circuit`.
+
+        Every Param resolves against :meth:`resolve_params`; capacitors
+        whose value resolves to exactly zero are dropped (matching the
+        skip-zero-shunt convention of the concrete builders), so e.g. a
+        bus template bound with ``cct=0`` reproduces the uncoupled
+        netlist element for element.
+        """
+        from dataclasses import replace
+
+        values = self.resolve_params(params)
+        bound = Circuit(title if title is not None else self._circuit.title)
+        for element in self._circuit.elements:
+            value = getattr(element, "value", None)
+            if value is None or not is_parametric(value):
+                bound.add(element)
+                continue
+            resolved = resolve_value(value, values)
+            if isinstance(element, Capacitor) and resolved == 0.0:
+                continue
+            bound.add(replace(element, value=resolved))
+        for mutual in self._circuit.mutual_inductances:
+            bound.add_mutual_inductance(
+                mutual.name, mutual.inductor1, mutual.inductor2, mutual.coupling
+            )
+        return bound
+
+    def system(self, params: Mapping[str, float] | None = None) -> MnaSystem:
+        """Revalued :class:`MnaSystem` at one parameter point."""
+        return self.structure.system(self.resolve_params(params))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitTemplate({self._circuit.title!r}, "
+            f"params={list(self._names)})"
+        )

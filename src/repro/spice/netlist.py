@@ -35,6 +35,8 @@ from repro.errors import NetlistError, require_nonnegative, require_positive
 
 __all__ = [
     "GROUND",
+    "Param",
+    "ParamAffine",
     "SourceWaveform",
     "Dc",
     "Step",
@@ -67,6 +69,166 @@ def canonical_node(node) -> str:
     if not name:
         raise NetlistError("node name must be non-empty")
     return name
+
+
+# ---------------------------------------------------------------------------
+# Parameter slots (symbolic element values)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    """A named parameter slot standing in for a concrete element value.
+
+    An element whose value is ``Param(name, scale)`` resolves to
+    ``scale * params[name]`` when the circuit is bound (or revalued)
+    against a parameter mapping.  This is the building block of the
+    stamp-once / re-value-many split: a
+    :class:`~repro.spice.mna.CircuitTemplate` freezes the circuit's
+    *structure* while every :class:`Param` marks a value that may change
+    between evaluations without re-assembling anything.
+
+    Params support scalar scaling (``Param("ct") * 0.5``, ``w * p``,
+    ``p / n``) and addition (``Param("ct", w) + Param("cl")`` yields a
+    :class:`ParamAffine`), which is how builders express merged stamps
+    such as a far-end capacitance ``w * Ct + CL``.
+    """
+
+    name: str
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise NetlistError("parameter name must be a non-empty string")
+        scale = float(self.scale)
+        if not np.isfinite(scale) or scale == 0.0:
+            raise NetlistError(
+                f"parameter scale must be finite and nonzero, got {self.scale!r}"
+            )
+        object.__setattr__(self, "scale", scale)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            return Param(self.name, self.scale * float(other))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, (int, float)):
+            return Param(self.name, self.scale / float(other))
+        return NotImplemented
+
+    def __add__(self, other):
+        terms, const = _affine_parts(self)
+        try:
+            other_terms, other_const = _affine_parts(other)
+        except NetlistError:
+            return NotImplemented
+        return ParamAffine(terms + other_terms, const + other_const)
+
+    __radd__ = __add__
+
+    def resolve(self, params) -> float:
+        """Concrete value under a ``{name: value}`` mapping."""
+        try:
+            return self.scale * float(params[self.name])
+        except KeyError:
+            raise NetlistError(f"missing value for parameter {self.name!r}") from None
+
+
+@dataclass(frozen=True)
+class ParamAffine:
+    """An affine combination of parameters: ``const + sum(coeff * p)``.
+
+    Produced by adding :class:`Param` objects (and numbers); kept as a
+    first-class value so linear stamps (capacitors) can merge several
+    parameter contributions into one element -- e.g. the far-end
+    capacitor of a ladder template, ``Ct/(2n) + CL``.  Terms preserve
+    construction order; duplicate names are merged by summing their
+    coefficients.
+    """
+
+    terms: tuple[tuple[str, float], ...]
+    const: float = 0.0
+
+    def __post_init__(self) -> None:
+        merged: dict[str, float] = {}
+        for name, coeff in self.terms:
+            if not isinstance(name, str) or not name:
+                raise NetlistError("parameter name must be a non-empty string")
+            merged[name] = merged.get(name, 0.0) + float(coeff)
+        if not merged:
+            raise NetlistError("ParamAffine needs at least one parameter term")
+        const = float(self.const)
+        coeffs = tuple(merged.values())
+        if not all(np.isfinite(c) for c in coeffs) or not np.isfinite(const):
+            raise NetlistError("ParamAffine coefficients must be finite")
+        object.__setattr__(self, "terms", tuple(merged.items()))
+        object.__setattr__(self, "const", const)
+
+    def __add__(self, other):
+        try:
+            other_terms, other_const = _affine_parts(other)
+        except NetlistError:
+            return NotImplemented
+        return ParamAffine(self.terms + other_terms, self.const + other_const)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float)):
+            k = float(other)
+            return ParamAffine(
+                tuple((n, c * k) for n, c in self.terms), self.const * k
+            )
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def resolve(self, params) -> float:
+        """Concrete value under a ``{name: value}`` mapping."""
+        total = self.const
+        for name, coeff in self.terms:
+            try:
+                total += coeff * float(params[name])
+            except KeyError:
+                raise NetlistError(
+                    f"missing value for parameter {name!r}"
+                ) from None
+        return total
+
+
+def _affine_parts(value) -> tuple[tuple[tuple[str, float], ...], float]:
+    """Decompose a value into affine ``(terms, const)`` parts."""
+    if isinstance(value, Param):
+        return ((value.name, value.scale),), 0.0
+    if isinstance(value, ParamAffine):
+        return value.terms, value.const
+    if isinstance(value, (int, float)):
+        return (), float(value)
+    raise NetlistError(f"cannot combine {value!r} with parameters")
+
+
+def is_parametric(value) -> bool:
+    """True when ``value`` is a :class:`Param` or :class:`ParamAffine`."""
+    return isinstance(value, (Param, ParamAffine))
+
+
+def value_param_names(value) -> tuple[str, ...]:
+    """Parameter names referenced by an element value (may be empty)."""
+    if isinstance(value, Param):
+        return (value.name,)
+    if isinstance(value, ParamAffine):
+        return tuple(name for name, _ in value.terms)
+    return ()
+
+
+def resolve_value(value, params) -> float:
+    """Resolve a possibly-parametric element value to a float."""
+    if is_parametric(value):
+        return value.resolve(params)
+    return float(value)
 
 
 # ---------------------------------------------------------------------------
@@ -240,25 +402,43 @@ class Element:
 
 @dataclass(frozen=True)
 class Resistor(Element):
-    """Linear resistor (ohms)."""
+    """Linear resistor (ohms).
+
+    The value may be a :class:`Param` (a single scaled parameter slot)
+    for use in a :class:`~repro.spice.mna.CircuitTemplate`; affine
+    parameter sums are not supported here because the MNA stamp needs
+    the *reciprocal* of the resistance.
+    """
 
     value: float = 0.0
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        require_positive(f"resistor {self.name} value", self.value)
+        if isinstance(self.value, ParamAffine):
+            raise NetlistError(
+                f"resistor {self.name!r} cannot take a parameter sum "
+                "(its stamp is the reciprocal 1/R); use a single Param"
+            )
+        if not isinstance(self.value, Param):
+            require_positive(f"resistor {self.name} value", self.value)
 
 
 @dataclass(frozen=True)
 class Capacitor(Element):
-    """Linear capacitor (farads) with optional initial voltage."""
+    """Linear capacitor (farads) with optional initial voltage.
+
+    The value may be a :class:`Param` or a :class:`ParamAffine` sum of
+    parameters (the capacitive stamp is linear in the value) for use in
+    a :class:`~repro.spice.mna.CircuitTemplate`.
+    """
 
     value: float = 0.0
     initial_voltage: float = 0.0
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        require_positive(f"capacitor {self.name} value", self.value)
+        if not is_parametric(self.value):
+            require_positive(f"capacitor {self.name} value", self.value)
 
 
 @dataclass(frozen=True)
@@ -266,7 +446,9 @@ class Inductor(Element):
     """Linear inductor (henries) with optional initial current.
 
     MNA allocates a branch-current unknown; positive current flows from
-    ``node_pos`` to ``node_neg`` through the inductor.
+    ``node_pos`` to ``node_neg`` through the inductor.  The value may be
+    a single :class:`Param` for use in a
+    :class:`~repro.spice.mna.CircuitTemplate`.
     """
 
     value: float = 0.0
@@ -274,7 +456,13 @@ class Inductor(Element):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        require_positive(f"inductor {self.name} value", self.value)
+        if isinstance(self.value, ParamAffine):
+            raise NetlistError(
+                f"inductor {self.name!r} cannot take a parameter sum "
+                "(mutual couplings need sqrt(L1*L2)); use a single Param"
+            )
+        if not isinstance(self.value, Param):
+            require_positive(f"inductor {self.name} value", self.value)
 
     @property
     def needs_branch_current(self) -> bool:
@@ -530,6 +718,16 @@ class Circuit:
     def elements_of_type(self, kind: type) -> list[Element]:
         """All elements of the given class."""
         return [e for e in self._elements if isinstance(e, kind)]
+
+    def parameter_names(self) -> tuple[str, ...]:
+        """Names of all :class:`Param` slots used by element values.
+
+        Sorted alphabetically; empty for a fully concrete circuit.
+        """
+        names: set[str] = set()
+        for e in self._elements:
+            names.update(value_param_names(getattr(e, "value", None)))
+        return tuple(sorted(names))
 
     def node_names(self) -> list[str]:
         """All non-ground node names, in order of first appearance."""

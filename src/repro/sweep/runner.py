@@ -8,10 +8,19 @@ memoizes the result twice over:
   that survives across processes.
 
 Closed-form quantities run as single NumPy kernel calls over the whole
-grid; the simulator-backed quantity (``simulated_delay_50``) is
-inherently per-point and fans out over a :mod:`concurrent.futures`
-worker pool instead.  Cache keys include the kernel version, so stale
-results are invalidated automatically whenever the numerics change.
+grid; the simulator-backed quantity (``simulated_delay_50``) fans out
+over a :mod:`concurrent.futures` worker pool in *chunks*: the grid is
+partitioned into contiguous chunks, each chunk ships one payload (its
+input columns plus a single shared options mapping -- not one payload
+dict per point), and the chunk worker hands its points to
+:func:`repro.core.simulate.simulated_delay_50_batch`.  That entry point
+partitions each chunk into structure-equivalence classes and routes
+value-only classes (the ``"mna"`` route) through the stamp-once /
+re-value-many template path
+(:func:`~repro.spice.transient.simulate_transient_batch`), while
+structure-bound routes (``statespace``/``tline``) evaluate per point.
+Cache keys include the kernel version, so stale results are
+invalidated automatically whenever the numerics change.
 
 Grids may name circuit parameters directly (``rt``/``lt``/``ct``/
 ``rtr``/``cl``, buffer ``r0``/``c0``, ``tlr``) or describe them
@@ -390,14 +399,31 @@ def _disk_payload_problem(payload: dict, sweep: Sweep) -> str | None:
     return None
 
 
-def _simulate_point(payload) -> float:
-    """Worker-pool entry point: one simulator-backed delay evaluation."""
-    params, options = payload
-    from repro.core.canonical import DriverLineLoad
-    from repro.core.simulate import simulated_delay_50
+#: Largest point count handed to one batched chunk evaluation.  Each
+#: distinct point in a transient batch holds its numeric factorization
+#: alive for the whole run, so chunks are capped to bound peak memory
+#: (and to give the worker pool enough chunks to balance).
+MAX_CHUNK_POINTS = 32
 
-    line = DriverLineLoad(**params)
-    return simulated_delay_50(line, **options)
+
+def _simulate_chunk(payload) -> list[float]:
+    """Worker-pool entry point: one chunk of simulator-backed delays.
+
+    The payload carries the chunk's input columns and a single shared
+    options mapping (sent once per chunk rather than once per point);
+    the batch entry point then groups the chunk's points into
+    structure-equivalence classes internally.
+    """
+    columns, options = payload
+    from repro.core.canonical import DriverLineLoad
+    from repro.core.simulate import simulated_delay_50_batch
+
+    size = len(next(iter(columns.values())))
+    lines = [
+        DriverLineLoad(**{name: col[i] for name, col in columns.items()})
+        for i in range(size)
+    ]
+    return [float(v) for v in simulated_delay_50_batch(lines, **options)]
 
 
 class SweepRunner:
@@ -485,11 +511,13 @@ class SweepRunner:
         return removed
 
     def clear(self) -> None:
-        """Empty both cache layers."""
+        """Empty both cache layers (including stale interrupted tmp files)."""
         with self._lock:
             self._memory.clear()
         if self.cache_dir is not None and self.cache_dir.is_dir():
             for path in self.cache_dir.glob("sweep-*.json"):
+                path.unlink()
+            for path in self.cache_dir.glob("sweep-*.tmp"):
                 path.unlink()
 
     # -- cache layers ------------------------------------------------------
@@ -571,11 +599,22 @@ class SweepRunner:
                 for name, col in result.outputs.items()
             },
         }
-        # Unique tmp name: concurrent writers of the same key must not
-        # interleave on a shared tmp file before the atomic publish.
+        # Atomic publish: the payload lands in a unique tmp file in the
+        # same directory (concurrent writers of the same key must not
+        # interleave), is flushed and fsynced so a crash cannot leave a
+        # sparse/truncated file behind the rename, and only then
+        # replaces the real path.  _load therefore never sees a partial
+        # JSON payload, no matter where a run was interrupted.
         tmp = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(json.dumps(payload))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def _remember(self, key: str, result: SweepResult) -> None:
         with self._lock:
@@ -655,32 +694,49 @@ class SweepRunner:
     def _fan_out(
         self, inputs: Mapping[str, np.ndarray], options: dict, size: int
     ) -> np.ndarray:
+        """Evaluate a simulator-backed sweep in chunked fashion.
+
+        Points are split into contiguous chunks; each chunk is one
+        payload (columns as plain tuples plus one shared, read-only
+        options mapping) shipped to a worker, keeping pickling cost
+        O(chunks) rather than O(points) for process pools.  Inside a
+        worker, :func:`repro.core.simulate.simulated_delay_50_batch`
+        partitions the chunk into structure-equivalence classes and
+        routes value-only classes through the batched template path.
+        """
         broadcast = {
             name: np.broadcast_to(np.asarray(value, dtype=float), (size,))
             for name, value in inputs.items()
         }
-        payloads = [
-            (
-                {name: float(col[i]) for name, col in broadcast.items()},
-                options,
-            )
-            for i in range(size)
-        ]
         workers = self.max_workers
         if workers is None:
             workers = os.cpu_count() or 1
-        workers = min(workers, size)
-        if workers <= 1:
-            values = [_simulate_point(p) for p in payloads]
+        workers = max(1, min(workers, size))
+        chunk_size = min(MAX_CHUNK_POINTS, -(-size // workers))
+        bounds = list(range(0, size, chunk_size)) + [size]
+        payloads = [
+            (
+                {
+                    name: tuple(float(v) for v in col[lo:hi])
+                    for name, col in broadcast.items()
+                },
+                options,
+            )
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        if workers <= 1 or len(payloads) <= 1:
+            chunks = [_simulate_chunk(p) for p in payloads]
         else:
             pool_cls = (
                 concurrent.futures.ProcessPoolExecutor
                 if self.executor == "process"
                 else concurrent.futures.ThreadPoolExecutor
             )
-            with pool_cls(max_workers=workers) as pool:
-                values = list(pool.map(_simulate_point, payloads))
-        return np.asarray(values, dtype=float)
+            with pool_cls(max_workers=min(workers, len(payloads))) as pool:
+                chunks = list(pool.map(_simulate_chunk, payloads))
+        return np.asarray(
+            [value for chunk in chunks for value in chunk], dtype=float
+        )
 
 
 # -- input resolution -------------------------------------------------------

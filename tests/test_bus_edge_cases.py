@@ -1,0 +1,195 @@
+"""Degenerate :class:`~repro.bus.spec.BusSpec` edge cases.
+
+Exercises the pathological bus layouts -- a single-line "bus", an
+all-``quiet`` pattern, and a signal line whose only neighbors are
+grounded shields -- through both the scalar (concrete netlist) path and
+the new batched template path, pinning the two against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.bus.builder import build_bus_circuit, build_bus_template
+from repro.bus.spec import BusSpec
+from repro.spice.ladder import LadderSpec, build_ladder_circuit
+from repro.spice.transient import simulate_transient, simulate_transient_batch
+
+TOL = 1e-12
+LINE = dict(rt=800.0, lt=8e-7, ct=1.2e-12, rtr=120.0, cl=1.5e-13)
+T_STOP, DT = 2.5e-9, 2.5e-11
+
+
+def _single_line_spec(n_segments=12, **overrides) -> BusSpec:
+    kw = dict(
+        n_lines=1,
+        rt=LINE["rt"],
+        lt=LINE["lt"],
+        ct=LINE["ct"],
+        cct=4e-13,  # no partner to couple to; must be inert
+        km=0.5,
+        rtr=LINE["rtr"],
+        cl=LINE["cl"],
+        n_segments=n_segments,
+    )
+    kw.update(overrides)
+    return BusSpec(**kw)
+
+
+class TestSingleLineBus:
+    def test_matches_plain_ladder(self):
+        """One line, no neighbors: the bus must reduce to the PI ladder."""
+        spec = _single_line_spec()
+        bus = simulate_transient(
+            build_bus_circuit(spec, "rise"), t_stop=T_STOP, dt=DT
+        )
+        ladder_spec = LadderSpec(**LINE, n_segments=spec.n_segments)
+        ladder = simulate_transient(
+            build_ladder_circuit(ladder_spec), t_stop=T_STOP, dt=DT
+        )
+        v_bus = bus.voltage(spec.output_node(0)).values
+        v_ladder = ladder.voltage(ladder_spec.output_node).values
+        assert np.max(np.abs(v_bus - v_ladder)) <= 1e-9
+
+    def test_batch_path_matches_scalar(self):
+        spec = _single_line_spec()
+        template = build_bus_template(spec, "rise")
+        # A lone track has no coupling pairs, so no "cct" slot exists.
+        assert "cct" not in template.param_names
+        points = [{"rt": spec.rt[0] * f} for f in (0.6, 1.0, 1.7)]
+        batch = simulate_transient_batch(
+            template, points, t_stop=T_STOP, dt=DT, record=[spec.output_node(0)]
+        )
+        for j, point in enumerate(points):
+            concrete = replace(spec, rt=point["rt"])
+            ref = simulate_transient(
+                build_bus_circuit(concrete, "rise"), t_stop=T_STOP, dt=DT
+            )
+            assert (
+                np.max(
+                    np.abs(
+                        batch.voltage(spec.output_node(0))[j]
+                        - ref.voltage(spec.output_node(0)).values
+                    )
+                )
+                <= TOL
+            )
+
+
+class TestAllQuietPattern:
+    def test_scalar_stays_at_zero(self):
+        spec = _single_line_spec(n_segments=6, cl=0.0, n_lines=3)
+        result = simulate_transient(
+            build_bus_circuit(spec, "quiet"), t_stop=T_STOP, dt=DT
+        )
+        for line in range(spec.n_lines):
+            v = result.voltage(spec.output_node(line)).values
+            assert np.max(np.abs(v)) <= 1e-12
+
+    def test_batch_stays_at_zero_and_matches(self):
+        spec = _single_line_spec(n_segments=6, n_lines=3)
+        template = build_bus_template(spec, "quiet")
+        points = [{"cct": 0.0}, {"cct": 4e-13}]
+        batch = simulate_transient_batch(
+            template,
+            points,
+            t_stop=T_STOP,
+            dt=DT,
+            record=[spec.output_node(line) for line in range(spec.n_lines)],
+        )
+        assert np.max(np.abs(batch.states)) <= 1e-12
+        for j, point in enumerate(points):
+            concrete = replace(spec, cct=point["cct"])
+            ref = simulate_transient(
+                build_bus_circuit(concrete, "quiet"), t_stop=T_STOP, dt=DT
+            )
+            for line in range(spec.n_lines):
+                out = spec.output_node(line)
+                assert (
+                    np.max(np.abs(batch.voltage(out)[j] - ref.voltage(out).values))
+                    <= TOL
+                )
+
+
+class TestShieldOnlyNeighbors:
+    """One signal line walled in by grounded shields on both sides."""
+
+    def _spec(self, **overrides) -> BusSpec:
+        kw = dict(
+            n_lines=1,
+            rt=LINE["rt"],
+            lt=LINE["lt"],
+            ct=LINE["ct"],
+            cct=5e-13,
+            km=0.45,
+            rtr=LINE["rtr"],
+            cl=LINE["cl"],
+            n_segments=8,
+            shields=(0, 2),  # signal sits in slot 1
+        )
+        kw.update(overrides)
+        return BusSpec(**kw)
+
+    def test_layout(self):
+        spec = self._spec()
+        assert spec.n_physical == 3
+        assert spec.signal_slots == (1,)
+        assert spec.slot_of_line(0) == 1
+
+    def test_scalar_simulates_and_shield_damps_nothing_weird(self):
+        spec = self._spec()
+        result = simulate_transient(
+            build_bus_circuit(spec, "rise"), t_stop=T_STOP, dt=DT
+        )
+        v = result.voltage(spec.output_node(0)).values
+        assert 0.9 <= v[-1] <= 1.1  # settles to the step
+        assert np.max(np.abs(v)) < 2.5  # no runaway ringing
+
+    def test_batch_path_matches_scalar(self):
+        spec = self._spec()
+        template = build_bus_template(spec, "rise")
+        # Shields follow the line parameters, so the template still
+        # carries all six slots (coupling to the shields exists).
+        assert set(template.param_names) == {"rt", "lt", "ct", "cct", "rtr", "cl"}
+        points = [
+            {"cct": 0.0, "cl": 0.0},
+            {"cct": 5e-13, "cl": LINE["cl"]},
+            {"cct": 9e-13, "cl": 3e-13},
+        ]
+        out = spec.output_node(0)
+        batch = simulate_transient_batch(
+            template, points, t_stop=T_STOP, dt=DT, record=[out]
+        )
+        for j, point in enumerate(points):
+            concrete = replace(spec, **point)
+            ref = simulate_transient(
+                build_bus_circuit(concrete, "rise"), t_stop=T_STOP, dt=DT
+            )
+            assert (
+                np.max(np.abs(batch.voltage(out)[j] - ref.voltage(out).values))
+                <= TOL
+            )
+
+    def test_pinned_shield_rlc_stays_concrete(self):
+        spec = self._spec(shield_rlc=(500.0, 5e-7, 8e-13))
+        template = build_bus_template(spec, "rise")
+        batch = simulate_transient_batch(
+            template,
+            [{"rt": 400.0}, {"rt": 1200.0}],
+            t_stop=T_STOP,
+            dt=DT,
+            record=[spec.output_node(0)],
+        )
+        for j, rt in enumerate((400.0, 1200.0)):
+            concrete = replace(spec, rt=rt)
+            ref = simulate_transient(
+                build_bus_circuit(concrete, "rise"), t_stop=T_STOP, dt=DT
+            )
+            out = spec.output_node(0)
+            assert (
+                np.max(np.abs(batch.voltage(out)[j] - ref.voltage(out).values))
+                <= TOL
+            )

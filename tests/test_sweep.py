@@ -481,6 +481,54 @@ class TestSweepRunner:
         assert replayer.stats.disk_invalid == 0
 
 
+class TestAtomicDiskCache:
+    def _sweep(self):
+        grid = ParameterGrid(Axis("rt", [100.0, 500.0]))
+        return Sweep("propagation_delay", grid, fixed={"lt": 1e-6, "ct": 1e-12})
+
+    def test_no_tmp_litter_after_store(self, tmp_path):
+        SweepRunner(cache_dir=tmp_path).run(self._sweep())
+        assert list(tmp_path.glob("sweep-*.json"))
+        assert not list(tmp_path.glob("sweep-*.tmp"))
+
+    def test_stale_tmp_file_is_ignored_and_cleared(self, tmp_path):
+        # A crash between write and rename leaves only a *.tmp file;
+        # _load must treat the cache as a miss and clear() must sweep
+        # the leftover away.
+        runner = SweepRunner(cache_dir=tmp_path)
+        first = runner.run(self._sweep())
+        path = next(tmp_path.glob("sweep-*.json"))
+        stale = path.with_suffix(".123.456.tmp")
+        path.rename(stale)  # simulate: publish never happened
+        fresh = SweepRunner(cache_dir=tmp_path).run(self._sweep())
+        assert fresh.cache_hit is None
+        assert np.array_equal(fresh.output(), first.output())
+        runner.clear()
+        assert not list(tmp_path.glob("sweep-*.tmp"))
+
+    def test_truncated_payload_is_replayed_safely(self, tmp_path):
+        # Even a torn *published* file (e.g. pre-fsync kernels) must not
+        # poison the runner: it re-evaluates instead of crashing.
+        SweepRunner(cache_dir=tmp_path).run(self._sweep())
+        path = next(tmp_path.glob("sweep-*.json"))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        result = SweepRunner(cache_dir=tmp_path).run(self._sweep())
+        assert result.cache_hit is None
+
+    def test_failed_write_leaves_no_partial_cache(self, tmp_path, monkeypatch):
+        import repro.sweep.runner as runner_mod
+
+        def exploding_fsync(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(runner_mod.os, "fsync", exploding_fsync)
+        runner = SweepRunner(cache_dir=tmp_path)
+        with pytest.raises(OSError, match="disk full"):
+            runner.run(self._sweep())
+        assert not list(tmp_path.glob("sweep-*"))
+
+
 class TestSimulatedFanOut:
     def _sweep(self):
         grid = ParameterGrid(
@@ -507,6 +555,79 @@ class TestSimulatedFanOut:
         serial = SweepRunner(max_workers=1).run(self._sweep())
         pooled = SweepRunner(max_workers=3, executor="thread").run(self._sweep())
         assert np.array_equal(serial.output(), pooled.output())
+
+    def _mna_sweep(self, n_points=5, options=None):
+        grid = ParameterGrid(Axis.log("rt", 200.0, 2000.0, n_points))
+        opts = {"route": "mna", "n_segments": 12, "n_samples": 401}
+        opts.update(options or {})
+        return Sweep(
+            "simulated_delay_50",
+            grid,
+            fixed={"lt": 1e-6, "ct": 1e-12, "rtr": 100.0, "cl": 1e-13},
+            options=opts,
+        )
+
+    def test_mna_batch_route_matches_per_point(self):
+        """The chunked template path reproduces scalar evaluations."""
+        result = SweepRunner(max_workers=1).run(self._mna_sweep())
+        for rt, delay in zip(result.columns["rt"], result.output()):
+            line = DriverLineLoad(rt=rt, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+            direct = simulated_delay_50(
+                line, route="mna", n_segments=12, n_samples=401
+            )
+            assert delay == pytest.approx(direct, rel=1e-12)
+
+    def test_mna_mixed_structure_classes(self):
+        """cl = 0 and cl > 0 points split into structure classes."""
+        grid = ParameterGrid(
+            (Axis("rt", [500.0, 500.0, 900.0]), Axis("cl", [0.0, 1e-13, 0.0]))
+        )
+        sweep = Sweep(
+            "simulated_delay_50",
+            grid,
+            fixed={"lt": 1e-6, "ct": 1e-12, "rtr": 100.0},
+            options={"route": "mna", "n_segments": 10, "n_samples": 301},
+        )
+        result = SweepRunner(max_workers=1).run(sweep)
+        for rt, cl, delay in zip(
+            result.columns["rt"], result.columns["cl"], result.output()
+        ):
+            line = DriverLineLoad(rt=rt, lt=1e-6, ct=1e-12, rtr=100.0, cl=cl)
+            direct = simulated_delay_50(
+                line, route="mna", n_segments=10, n_samples=301
+            )
+            assert delay == pytest.approx(direct, rel=1e-12)
+
+    def test_chunked_pool_agrees_with_serial_mna(self):
+        serial = SweepRunner(max_workers=1).run(self._mna_sweep())
+        pooled = SweepRunner(max_workers=3, executor="thread").run(
+            self._mna_sweep()
+        )
+        assert np.array_equal(serial.output(), pooled.output())
+
+    def test_chunk_partition_covers_all_points_in_order(self):
+        from repro.sweep import runner as runner_mod
+
+        recorded = []
+        original = runner_mod._simulate_chunk
+
+        def tracking(payload):
+            columns, options = payload
+            recorded.append(len(next(iter(columns.values()))))
+            return original(payload)
+
+        runner = SweepRunner(max_workers=2)
+        sweep = self._mna_sweep(n_points=5)
+        try:
+            runner_mod._simulate_chunk = tracking
+            result = runner.run(sweep)
+        finally:
+            runner_mod._simulate_chunk = original
+        assert sum(recorded) == 5
+        assert len(recorded) >= 2  # chunked, not one monolithic payload
+        # Order preserved: strictly increasing rt maps to its own delay.
+        ref = SweepRunner(max_workers=1).run(self._mna_sweep(n_points=5))
+        assert np.array_equal(result.output(), ref.output())
 
     def test_mna_route_accepts_backend_option(self):
         grid = ParameterGrid(Axis("zeta", [1.0]))
