@@ -42,7 +42,7 @@ DOCS_DIR = pathlib.Path(__file__).parent
 REPO_ROOT = DOCS_DIR.parent
 
 #: Hand-written source pages, in navigation order.
-PAGES = ("index.md", "architecture.md", "equations.md")
+PAGES = ("index.md", "architecture.md", "equations.md", "instrumentation.md")
 
 STYLE = """
 body { font-family: Georgia, serif; max-width: 56rem; margin: 2rem auto;
@@ -90,6 +90,7 @@ class Builder:
                 ("repro", "index.html"),
                 ("architecture", "architecture.html"),
                 ("paper equations", "equations.html"),
+                ("instrumentation", "instrumentation.html"),
                 ("API reference", "api/index.html"),
             )
         )

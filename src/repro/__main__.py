@@ -15,7 +15,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.experiments import REGISTRY, render_table
+from repro.experiments.common import metrics_footer
 from repro.sweep.cli import add_sweep_arguments, run_sweep
 
 
@@ -28,18 +30,26 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(exp_id: str) -> int:
+def _cmd_run(exp_id: str, metrics: bool = False) -> int:
+    if metrics:
+        obs.enable()
     if exp_id == "all":
         for key in REGISTRY:
             print(render_table(REGISTRY[key].run()))
             print()
-        return 0
-    module = REGISTRY.get(exp_id.upper())
-    if module is None:
-        known = ", ".join(REGISTRY)
-        print(f"unknown experiment {exp_id!r}; known: {known}", file=sys.stderr)
-        return 2
-    print(render_table(module.run()))
+    else:
+        module = REGISTRY.get(exp_id.upper())
+        if module is None:
+            known = ", ".join(REGISTRY)
+            print(
+                f"unknown experiment {exp_id!r}; known: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_table(module.run()))
+    if metrics:
+        print()
+        print(metrics_footer())
     return 0
 
 
@@ -54,6 +64,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list the experiment registry")
     run_parser = sub.add_parser("run", help="regenerate one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment id, e.g. EXP-T1")
+    run_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable instrumentation and print a telemetry footer",
+    )
     sweep_parser = sub.add_parser(
         "sweep",
         help="batch-evaluate a quantity over a parameter grid",
@@ -66,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "sweep":
         return run_sweep(args)
-    return _cmd_run(args.experiment)
+    return _cmd_run(args.experiment, metrics=args.metrics)
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-__all__ = ["ExperimentTable", "render_table", "format_cell"]
+__all__ = ["ExperimentTable", "render_table", "format_cell", "metrics_footer"]
 
 
 def format_cell(value) -> str:
@@ -56,6 +56,27 @@ class ExperimentTable:
         """Extract one column by header name."""
         index = self.headers.index(name)
         return [row[index] for row in self.rows]
+
+
+def metrics_footer() -> str:
+    """Telemetry footer for experiment output (opt-in, ``--metrics``).
+
+    Renders the span tree followed by the metric series recorded since
+    the last ``obs.reset()``.  Returns ``""`` while the observability
+    layer is disabled, so drivers can append it unconditionally.
+    """
+    from repro import obs
+
+    if not obs.enabled():
+        return ""
+    return (
+        "-- telemetry "
+        + "-" * 47
+        + "\n"
+        + obs.render_trace()
+        + "\n\n"
+        + obs.render_metrics()
+    )
 
 
 def render_table(table: ExperimentTable) -> str:

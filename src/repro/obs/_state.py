@@ -1,0 +1,50 @@
+"""Process-wide on/off switch for the observability layer.
+
+One boolean gates *all* instrumentation call sites: span creation,
+counter increments, gauge writes and histogram observations.  The
+hot-path contract is that a disabled call site costs one attribute
+load and one branch -- no allocation, no locking, no dictionary work
+-- so instrumentation can live inside the time-stepping and
+factorization loops without a measurable footprint (the benchmark
+suite pins the disabled overhead to <= 2% on the 500-segment ladder
+transient).
+
+The switch is deliberately process-wide rather than per-registry or
+per-tracer: the instrumented layers (``repro.spice``, ``repro.sweep``)
+must not thread an observability handle through every signature, and a
+single flag keeps the disabled fast path branch-predictable.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "enable", "disable"]
+
+
+class _State:
+    """Mutable holder so the flag can be flipped at runtime."""
+
+    __slots__ = ("on",)
+
+    def __init__(self) -> None:
+        self.on = os.environ.get("REPRO_OBS", "").strip() not in ("", "0")
+
+
+#: The single process-wide switch (module-private; use the functions).
+_STATE = _State()
+
+
+def enabled() -> bool:
+    """True when instrumentation is currently collecting."""
+    return _STATE.on
+
+
+def enable() -> None:
+    """Turn span tracing and metrics collection on (process-wide)."""
+    _STATE.on = True
+
+
+def disable() -> None:
+    """Turn instrumentation off; call sites revert to the no-op path."""
+    _STATE.on = False

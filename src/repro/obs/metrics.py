@@ -1,0 +1,282 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+A metric is a name plus an optional set of string labels; each distinct
+label combination is its own series::
+
+    obs.inc("spice.backend.refactorize", backend="banded")
+    obs.observe("sweep.chunk_seconds", 0.031)
+    obs.set_gauge("sweep.cache.hit_rate", 0.75)
+
+- **Counters** only go up (monotonic within a process); use them for
+  event and work counts (factorizations, steps, cache hits).
+- **Gauges** hold the last written value; use them for levels and
+  ratios (hit rate, last system size).
+- **Histograms** bucket observations against a *fixed* boundary list
+  chosen at first observation (defaults below), tracking count / sum /
+  sum-of-squares / min / max alongside the per-bucket tallies -- enough
+  to emit mean, stddev and a cumulative distribution without storing
+  samples.
+
+Everything lives in one process-wide :data:`REGISTRY` by default so
+instrumented library code and report emitters need no shared handle;
+isolated :class:`MetricsRegistry` instances exist for tests.  The
+module-level helpers (:func:`inc`, :func:`observe`, :func:`set_gauge`)
+are *gated* on the global enable switch -- they are the form the
+instrumented layers call -- while the registry methods themselves are
+unconditional for direct/manual use.
+
+All state is guarded by one lock per registry; increments are cheap
+(a dict lookup and a float add), so the lock is uncontended in
+practice -- the hot loops of the simulator call the gated helpers,
+which cost a single branch while disabled.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator, Mapping
+
+from repro.obs._state import _STATE
+
+__all__ = [
+    "TIME_BUCKETS",
+    "COUNT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "inc",
+    "set_gauge",
+    "observe",
+]
+
+#: Default boundaries (seconds) for duration histograms: 1 us .. 100 s
+#: in half-decade steps.  An observation beyond the last edge lands in
+#: the overflow bucket.
+TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 3.16e-6, 1e-5, 3.16e-5, 1e-4, 3.16e-4,
+    1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1,
+    1.0, 3.16, 10.0, 31.6, 100.0,
+)
+
+#: Default boundaries for size/count histograms (batch widths, step
+#: counts, nnz): 1 .. 1e6 in a 1-2-5 progression.
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+    100_000, 1_000_000,
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary stats.
+
+    ``bounds`` are the inclusive upper edges of the buckets; a final
+    implicit overflow bucket catches everything beyond ``bounds[-1]``.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "sumsq", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if not bounds or any(later <= earlier for later, earlier in zip(bounds[1:], bounds)):
+            raise ValueError(f"bucket bounds must be increasing, got {bounds!r}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        slot = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                slot = i
+                break
+        self.bucket_counts[slot] += 1
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0 when fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        var = self.sumsq / self.count - self.mean**2
+        return math.sqrt(max(0.0, var))
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary: stats plus ``[upper_edge, count]`` rows."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "buckets": [
+                [bound, n] for bound, n in zip(self.bounds, self.bucket_counts)
+            ],
+            "overflow": self.bucket_counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe store of labeled counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, tuple], float] = {}
+        self._gauges: dict[tuple[str, tuple], float] = {}
+        self._histograms: dict[tuple[str, tuple], Histogram] = {}
+
+    # -- writes ------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` (default 1) to the counter series."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge series to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[(name, _label_key(labels))] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+        **labels,
+    ) -> None:
+        """Record ``value`` into the histogram series.
+
+        ``buckets`` fixes the boundaries when the series is first
+        observed (later calls reuse them); the default is
+        :data:`TIME_BUCKETS` -- pass :data:`COUNT_BUCKETS` (or custom
+        edges) for size-like metrics.
+        """
+        key = (name, _label_key(labels))
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = Histogram(tuple(buckets) if buckets else TIME_BUCKETS)
+                self._histograms[key] = hist
+            hist.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> float:
+        """Current value of one counter series (0 when never written)."""
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across all its label series."""
+        with self._lock:
+            return sum(
+                v for (n, _), v in self._counters.items() if n == name
+            )
+
+    def gauge(self, name: str, **labels) -> float | None:
+        """Current value of one gauge series (None when never set)."""
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)))
+
+    def histogram(self, name: str, **labels) -> Histogram | None:
+        """The live histogram of one series (None when never observed)."""
+        with self._lock:
+            return self._histograms.get((name, _label_key(labels)))
+
+    def __iter__(self) -> Iterator[tuple[str, tuple, str]]:
+        """Yield ``(name, labels, kind)`` for every series."""
+        with self._lock:
+            items = (
+                [(n, l, "counter") for n, l in self._counters]
+                + [(n, l, "gauge") for n, l in self._gauges]
+                + [(n, l, "histogram") for n, l in self._histograms]
+            )
+        return iter(items)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump: ``{kind: {name: [{labels, ...}, ...]}}``.
+
+        Series of one name are listed together, each entry carrying its
+        ``labels`` mapping; histograms expand via
+        :meth:`Histogram.as_dict`.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {
+                key: hist.as_dict() for key, hist in self._histograms.items()
+            }
+
+        def _grouped(flat: dict, value_key: str | None) -> dict:
+            grouped: dict[str, list] = {}
+            for (name, labels), value in sorted(flat.items()):
+                entry = {"labels": dict(labels)}
+                if value_key is None:
+                    entry.update(value)
+                else:
+                    entry[value_key] = value
+                grouped.setdefault(name, []).append(entry)
+            return grouped
+
+        return {
+            "counters": _grouped(counters, "value"),
+            "gauges": _grouped(gauges, "value"),
+            "histograms": _grouped(histograms, None),
+        }
+
+    def reset(self) -> None:
+        """Drop every series (counters, gauges and histograms)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide default registry every emitter reads from.
+REGISTRY = MetricsRegistry()
+
+
+def inc(name: str, value: float = 1.0, **labels) -> None:
+    """Gated counter increment into :data:`REGISTRY` (no-op while disabled)."""
+    if _STATE.on:
+        REGISTRY.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Gated gauge write into :data:`REGISTRY` (no-op while disabled)."""
+    if _STATE.on:
+        REGISTRY.set_gauge(name, value, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    buckets: tuple[float, ...] | None = None,
+    **labels,
+) -> None:
+    """Gated histogram observation into :data:`REGISTRY` (no-op while disabled)."""
+    if _STATE.on:
+        REGISTRY.observe(name, value, buckets, **labels)

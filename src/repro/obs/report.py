@@ -1,0 +1,238 @@
+"""Emitters: span-tree text, metrics text/JSON, benchmark artifact.
+
+Three consumers, three shapes:
+
+- :func:`render_trace` -- a human-readable tree of the recorded spans
+  (durations, attributes, nesting) for ``--trace`` CLI output;
+- :func:`metrics_payload` / :func:`write_metrics` -- a flat,
+  schema-versioned JSON document of every counter/gauge/histogram
+  series, the machine-readable artifact ``--metrics-out`` and the CI
+  benchmark-smoke job emit;
+- :func:`benchmark_payload` -- the histogram series re-shaped into a
+  pytest-benchmark-style ``{"benchmarks": [{name, stats}]}`` list so
+  perf dashboards that already parse ``benchmark-results.json`` can
+  ingest the telemetry with the same code path.
+
+All emitters read from the process-wide defaults
+(:data:`repro.obs.metrics.REGISTRY`, the trace root buffer) unless an
+explicit registry / span list is passed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import Span, trace_roots
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "render_trace",
+    "render_metrics",
+    "metrics_payload",
+    "benchmark_payload",
+    "write_metrics",
+]
+
+#: Schema tag stamped into every metrics JSON document.
+METRICS_SCHEMA_VERSION = 1
+
+
+def _format_duration(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns} ns"
+
+
+def _format_attr(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_trace(roots: list[Span] | None = None) -> str:
+    """Render spans as an indented tree with durations and attributes.
+
+    ``roots`` defaults to the process-wide recorded roots
+    (:func:`repro.obs.trace.trace_roots`).  Example::
+
+        sweep.run  31.2 ms  quantity=simulated_delay_50 points=4
+        +- transient.batch  29.0 ms  points=4 steps=500 backend=banded
+
+    Returns ``"(no spans recorded)"`` when nothing was traced.
+    """
+    roots = trace_roots() if roots is None else roots
+    if not roots:
+        return "(no spans recorded)"
+    lines: list[str] = []
+
+    def _emit(span: Span, prefix: str, child_prefix: str) -> None:
+        attrs = " ".join(
+            f"{k}={_format_attr(v)}" for k, v in span.attrs.items()
+        )
+        open_mark = "" if span.end_ns is not None else "  [open]"
+        lines.append(
+            f"{prefix}{span.name}  {_format_duration(span.duration_ns)}"
+            f"{'  ' + attrs if attrs else ''}{open_mark}"
+        )
+        for i, child in enumerate(span.children):
+            last = i == len(span.children) - 1
+            branch = "`- " if last else "+- "
+            extend = "   " if last else "|  "
+            _emit(child, child_prefix + branch, child_prefix + extend)
+
+    for root in roots:
+        _emit(root, "", "")
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry | None = None) -> str:
+    """Compact text block of every metric series (for report footers).
+
+    One line per series: ``name{labels} = value`` for counters and
+    gauges, ``name{labels}: n=..., mean=..., min/max=...`` for
+    histograms.  Returns ``"(no metrics recorded)"`` when empty.
+    """
+    snap = (registry or REGISTRY).snapshot()
+    lines: list[str] = []
+
+    def _series_label(entry: dict) -> str:
+        labels = entry.get("labels") or {}
+        if not labels:
+            return ""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return "{" + inner + "}"
+
+    for name, entries in snap["counters"].items():
+        for entry in entries:
+            lines.append(
+                f"{name}{_series_label(entry)} = {entry['value']:g}"
+            )
+    for name, entries in snap["gauges"].items():
+        for entry in entries:
+            lines.append(
+                f"{name}{_series_label(entry)} = {entry['value']:g}"
+            )
+    for name, entries in snap["histograms"].items():
+        for entry in entries:
+            lines.append(
+                f"{name}{_series_label(entry)}: n={entry['count']}, "
+                f"mean={entry['mean']:.4g}, min={entry['min']:.4g}, "
+                f"max={entry['max']:.4g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def metrics_payload(
+    registry: MetricsRegistry | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """The flat JSON metrics document (a plain dict, ready to dump).
+
+    Contains the schema version, a wall-clock timestamp, the full
+    registry snapshot and -- for dashboard convenience -- the
+    pytest-benchmark-shaped view of the histograms under
+    ``"benchmarks"``.  ``extra`` entries are merged at the top level
+    (callers use it for run context such as the CLI argument vector).
+    """
+    registry = registry or REGISTRY
+    payload = {
+        "schema": METRICS_SCHEMA_VERSION,
+        "generated_by": "repro.obs",
+        "unix_time": time.time(),
+        "metrics": registry.snapshot(),
+        "benchmarks": benchmark_payload(registry)["benchmarks"],
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def benchmark_payload(registry: MetricsRegistry | None = None) -> dict:
+    """Histogram series as a pytest-benchmark-compatible document.
+
+    Every histogram series becomes one entry of the ``"benchmarks"``
+    list with the ``stats`` keys pytest-benchmark consumers read
+    (``min``/``max``/``mean``/``stddev``/``rounds``/``total``), named
+    ``<metric>[label=value,...]``.  Counters ride along inside
+    ``extra_info`` of a synthetic ``repro.obs.counters`` entry so the
+    artifact is self-contained.
+    """
+    registry = registry or REGISTRY
+    snap = registry.snapshot()
+    benchmarks: list[dict] = []
+    for name, entries in snap["histograms"].items():
+        for entry in entries:
+            labels = entry.get("labels") or {}
+            suffix = (
+                "[" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "]"
+                if labels
+                else ""
+            )
+            full = f"{name}{suffix}"
+            benchmarks.append(
+                {
+                    "group": name,
+                    "name": full,
+                    "fullname": full,
+                    "params": labels or None,
+                    "stats": {
+                        "min": entry["min"],
+                        "max": entry["max"],
+                        "mean": entry["mean"],
+                        "stddev": entry["stddev"],
+                        "rounds": entry["count"],
+                        "total": entry["sum"],
+                    },
+                }
+            )
+    counters = {
+        f"{name}{'' if not e.get('labels') else str(e['labels'])}": e["value"]
+        for name, entries in snap["counters"].items()
+        for e in entries
+    }
+    if counters:
+        benchmarks.append(
+            {
+                "group": "repro.obs.counters",
+                "name": "repro.obs.counters",
+                "fullname": "repro.obs.counters",
+                "params": None,
+                "stats": {
+                    "min": 0.0,
+                    "max": 0.0,
+                    "mean": 0.0,
+                    "stddev": 0.0,
+                    "rounds": 1,
+                    "total": 0.0,
+                },
+                "extra_info": counters,
+            }
+        )
+    return {"version": "repro.obs", "benchmarks": benchmarks}
+
+
+def write_metrics(
+    path: str | os.PathLike,
+    registry: MetricsRegistry | None = None,
+    extra: dict | None = None,
+) -> pathlib.Path:
+    """Write :func:`metrics_payload` as JSON to ``path`` (returns it).
+
+    Parent directories are created; the write is plain (not atomic) --
+    the artifact is an end-of-run emission, not a shared cache.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(metrics_payload(registry, extra), indent=2, default=str)
+        + "\n"
+    )
+    return target

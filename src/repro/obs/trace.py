@@ -1,0 +1,154 @@
+"""Hierarchical span tracing on ``time.perf_counter_ns``.
+
+A *span* is one timed region of work with a name, free-form attributes
+and children::
+
+    with obs.span("transient.batch", points=32, backend="banded") as sp:
+        ...
+        sp.set(steps=n_steps)
+
+Parenting is implicit through a :mod:`contextvars` context variable:
+a span entered while another is open becomes its child, across
+``await`` points and in each worker thread independently (every thread
+starts its own root list entry).  Finished roots accumulate in a
+process-wide buffer until :func:`clear_trace` (or ``obs.reset()``).
+
+When the layer is disabled (:func:`repro.obs.enable` not called)
+:func:`span` returns one shared pre-allocated no-op object whose
+``__enter__``/``__exit__``/``set`` do nothing -- the instrumented code
+pays a single branch, never an allocation.  This is what lets spans
+live permanently inside the simulation stack.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+
+from repro.obs._state import _STATE
+
+__all__ = [
+    "Span",
+    "span",
+    "current_span",
+    "trace_roots",
+    "clear_trace",
+]
+
+#: The innermost open span of the current thread/context (or None).
+_current: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_roots: list["Span"] = []
+_roots_lock = threading.Lock()
+
+
+class Span:
+    """One timed region: name, attributes, children, ns timestamps.
+
+    Use as a context manager (usually via :func:`span`); attributes may
+    be given at creation or added later with :meth:`set`.  Timestamps
+    come from :func:`time.perf_counter_ns`; :attr:`end_ns` is ``None``
+    while the span is still open.
+    """
+
+    __slots__ = ("name", "attrs", "start_ns", "end_ns", "children", "_token")
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs = dict(attrs or {})
+        self.start_ns: int = 0
+        self.end_ns: int | None = None
+        self.children: list[Span] = []
+        self._token = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds (up to now for a still-open span)."""
+        end = self.end_ns if self.end_ns is not None else time.perf_counter_ns()
+        return end - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (convenience over :attr:`duration_ns`)."""
+        return self.duration_ns * 1e-9
+
+    def __enter__(self) -> "Span":
+        parent = _current.get()
+        if parent is None:
+            with _roots_lock:
+                _roots.append(self)
+        else:
+            parent.children.append(self)
+        self._token = _current.set(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        _current.reset(self._token)
+        self._token = None
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end_ns is None else f"{self.duration_ns}ns"
+        return f"Span({self.name!r}, {state}, attrs={self.attrs!r})"
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        """Ignore attributes (mirrors :meth:`Span.set`)."""
+        return self
+
+
+#: The single no-op instance every disabled ``span()`` call returns.
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name`` (context manager).
+
+    The fast path: when the layer is disabled this returns the shared
+    :data:`NOOP_SPAN` without allocating anything.  Attribute values
+    should be cheap scalars (numbers, short strings); they are stored
+    as-is and rendered only at report time.
+    """
+    if not _STATE.on:
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open :class:`Span` of this context, or ``None``."""
+    return _current.get()
+
+
+def trace_roots() -> list[Span]:
+    """Snapshot (shallow copy) of the finished/open root spans."""
+    with _roots_lock:
+        return list(_roots)
+
+
+def clear_trace() -> None:
+    """Drop every recorded root span (open spans keep collecting)."""
+    with _roots_lock:
+        _roots.clear()

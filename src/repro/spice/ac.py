@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import NetlistError, ParameterError, SimulationError
 from repro.spice.backend import SimulationBackend, resolve_backend
 from repro.spice.mna import CircuitTemplate, MnaStructure, build_mna
@@ -97,35 +98,41 @@ def ac_sweep(
         shared by every frequency point.
     """
     omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
-    system = build_mna(circuit)
+    with obs.span("ac.sweep", frequencies=omegas.size) as sp:
+        system = build_mna(circuit)
 
-    input_source = _resolve_input_source(circuit, input_source)
-    b = np.zeros(system.size, dtype=complex)
-    b[system.current_row(input_source)] = 1.0
+        input_source = _resolve_input_source(circuit, input_source)
+        b = np.zeros(system.size, dtype=complex)
+        b[system.current_row(input_source)] = 1.0
 
-    # The sparsity pattern of G + jwC is the same at every frequency;
-    # resolve the backend once on the union pattern, and reuse the
-    # pattern-dependent work (RCM profile, CSC assembly map) across
-    # every frequency point through one PatternFactorizer.
-    pattern = system.combine(1.0, 1.0j)
-    backend = resolve_backend(backend, pattern)
-    factorizer = backend.factorizer(pattern)
-    g_data = system.g_coo.data.astype(complex)
-    c_data = system.c_coo.data
+        # The sparsity pattern of G + jwC is the same at every frequency;
+        # resolve the backend once on the union pattern, and reuse the
+        # pattern-dependent work (RCM profile, CSC assembly map) across
+        # every frequency point through one PatternFactorizer.
+        pattern = system.combine(1.0, 1.0j)
+        backend = resolve_backend(backend, pattern)
+        factorizer = backend.factorizer(pattern)
+        sp.set(n=system.size, backend=backend.name)
+        obs.inc("spice.ac.runs")
+        obs.inc("spice.ac.frequencies", omegas.size)
+        g_data = system.g_coo.data.astype(complex)
+        c_data = system.c_coo.data
 
-    states = np.empty((omegas.size, system.size), dtype=complex)
-    for k, w in enumerate(omegas):
-        data = np.concatenate([g_data, 1j * w * c_data])
-        try:
-            states[k] = factorizer.refactorize(data).solve(b)
-        except SimulationError as exc:
-            raise SimulationError(f"singular AC system at omega = {w:g}") from exc
-    return AcResult(
-        omegas=omegas,
-        states=states,
-        node_index=dict(system.node_index),
-        branch_index=dict(system.branch_index),
-    )
+        states = np.empty((omegas.size, system.size), dtype=complex)
+        for k, w in enumerate(omegas):
+            data = np.concatenate([g_data, 1j * w * c_data])
+            try:
+                states[k] = factorizer.refactorize(data).solve(b)
+            except SimulationError as exc:
+                raise SimulationError(
+                    f"singular AC system at omega = {w:g}"
+                ) from exc
+        return AcResult(
+            omegas=omegas,
+            states=states,
+            node_index=dict(system.node_index),
+            branch_index=dict(system.branch_index),
+        )
 
 
 def _resolve_input_source(circuit: Circuit, input_source: str | None) -> str:
@@ -249,40 +256,50 @@ def ac_sweep_batch(
     omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
     structure, columns, n_points = _param_columns(template, params)
 
-    input_source = _resolve_input_source(template.circuit, input_source)
-    b = np.zeros(structure.size, dtype=complex)
-    b[structure.current_row(input_source)] = 1.0
+    with obs.span(
+        "ac.batch", points=n_points, frequencies=omegas.size
+    ) as sp:
+        input_source = _resolve_input_source(template.circuit, input_source)
+        b = np.zeros(structure.size, dtype=complex)
+        b[structure.current_row(input_source)] = 1.0
 
-    g_data, c_data = structure.revalue_many(columns)
-    pattern = structure.combined_pattern()
-    backend = resolve_backend(backend, pattern.scaled(1.0 + 0.0j))
-    factorizer = backend.factorizer(pattern)
+        g_data, c_data = structure.revalue_many(columns)
+        pattern = structure.combined_pattern()
+        backend = resolve_backend(backend, pattern.scaled(1.0 + 0.0j))
+        factorizer = backend.factorizer(pattern)
+        sp.set(n=structure.size, backend=backend.name)
+        obs.inc("spice.ac.batch_runs")
+        obs.inc("spice.ac.batch_points", n_points)
+        obs.observe(
+            "spice.ac.batch_width", n_points, buckets=obs.COUNT_BUCKETS
+        )
 
-    rec_rows = _recorded_rows(structure, record)
-    states = np.empty((n_points, omegas.size, rec_rows.size), dtype=complex)
+        rec_rows = _recorded_rows(structure, record)
+        states = np.empty((n_points, omegas.size, rec_rows.size), dtype=complex)
 
-    # Points with identical revalued data share their whole sweep.
-    seen: dict[bytes, int] = {}
-    for j in range(n_points):
-        key = g_data[j].tobytes() + c_data[j].tobytes()
-        first = seen.setdefault(key, j)
-        if first != j:
-            states[j] = states[first]
-            continue
-        g_j = g_data[j].astype(complex)
-        c_j = c_data[j]
-        for k, w in enumerate(omegas):
-            data = np.concatenate([g_j, 1j * w * c_j])
-            try:
-                x = factorizer.refactorize(data).solve(b)
-            except SimulationError as exc:
-                raise SimulationError(
-                    f"singular AC system at omega = {w:g} (batch point {j})"
-                ) from exc
-            states[j, k] = x[rec_rows]
-    return AcBatchResult(
-        omegas=omegas,
-        states=states,
-        structure=structure,
-        recorded_rows=tuple(int(r) for r in rec_rows),
-    )
+        # Points with identical revalued data share their whole sweep.
+        seen: dict[bytes, int] = {}
+        for j in range(n_points):
+            key = g_data[j].tobytes() + c_data[j].tobytes()
+            first = seen.setdefault(key, j)
+            if first != j:
+                states[j] = states[first]
+                obs.inc("spice.ac.shared_sweep_reuse")
+                continue
+            g_j = g_data[j].astype(complex)
+            c_j = c_data[j]
+            for k, w in enumerate(omegas):
+                data = np.concatenate([g_j, 1j * w * c_j])
+                try:
+                    x = factorizer.refactorize(data).solve(b)
+                except SimulationError as exc:
+                    raise SimulationError(
+                        f"singular AC system at omega = {w:g} (batch point {j})"
+                    ) from exc
+                states[j, k] = x[rec_rows]
+        return AcBatchResult(
+            omegas=omegas,
+            states=states,
+            structure=structure,
+            recorded_rows=tuple(int(r) for r in rec_rows),
+        )

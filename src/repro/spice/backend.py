@@ -63,6 +63,7 @@ import scipy.sparse
 from scipy.linalg import get_lapack_funcs
 from scipy.sparse.csgraph import reverse_cuthill_mckee
 
+from repro import obs
 from repro.errors import ParameterError, SimulationError
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "LinearFactorization",
     "PatternFactorizer",
     "SimulationBackend",
+    "BackendSelection",
     "DenseLuBackend",
     "SparseLuBackend",
     "BandedLuBackend",
@@ -77,6 +79,11 @@ __all__ = [
     "resolve_backend",
     "rcm_band_profile",
 ]
+
+
+def _count(op: str, backend: str, n: float = 1.0) -> None:
+    """Gated solver-telemetry counter (``spice.backend.<op>{backend=}``)."""
+    obs.inc(f"spice.backend.{op}", n, backend=backend)
 
 #: Systems at or below this size always resolve to the dense backend:
 #: one BLAS-3 factorization of a tiny matrix beats any sparse setup.
@@ -322,11 +329,60 @@ class _OneShotFactorizer(PatternFactorizer):
         return self._backend.factorize(matrix)
 
 
+@dataclass(frozen=True)
+class BackendSelection:
+    """Why ``resolve_backend("auto")`` picked a backend (the evidence).
+
+    Attached to the chosen backend (:attr:`SimulationBackend.selection`)
+    and surfaced in its ``repr``, so "why dense here?" is answerable
+    from any object that escaped the selection -- and recorded in the
+    metrics registry (``spice.backend.auto_selected{backend=,rule=}``)
+    while instrumentation is enabled.
+
+    Attributes
+    ----------
+    backend:
+        The chosen registry name (``dense``/``banded``/``sparse``).
+    rule:
+        Which decision rule fired: ``"small-system"`` (dense),
+        ``"narrow-band"`` (banded) or ``"general-sparse"`` (fallback).
+    size, nnz:
+        Unknown count and stored-entry count of the deciding matrix.
+    band_width, band_limit:
+        RCM band width of the pattern and the ``max(24, n // 8)``
+        threshold it was compared against; ``None`` when the size
+        cutoff decided first (no RCM profile was computed).
+    """
+
+    backend: str
+    rule: str
+    size: int
+    nnz: int
+    band_width: int | None = None
+    band_limit: int | None = None
+
+    def reason(self) -> str:
+        """One-line human-readable justification of the choice."""
+        if self.rule == "small-system":
+            return (
+                f"n={self.size} <= dense cutoff {DENSE_SIZE_CUTOFF}"
+            )
+        comparison = "<=" if self.rule == "narrow-band" else ">"
+        return (
+            f"n={self.size}, rcm band {self.band_width} {comparison} "
+            f"limit {self.band_limit}"
+        )
+
+
 class SimulationBackend(abc.ABC):
     """Strategy interface: how MNA linear systems are factored/solved."""
 
     #: Registry / user-facing name of the implementation.
     name: str = "abstract"
+
+    #: The ``resolve_backend("auto")`` decision that produced this
+    #: instance, or ``None`` for explicitly constructed backends.
+    selection: BackendSelection | None = None
 
     @abc.abstractmethod
     def factorize(self, matrix: CooMatrix) -> LinearFactorization:
@@ -350,7 +406,12 @@ class SimulationBackend(abc.ABC):
         return _OneShotFactorizer(self, pattern)
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}()"
+        if self.selection is None:
+            return f"{type(self).__name__}()"
+        return (
+            f"{type(self).__name__}(auto: {self.selection.reason()} "
+            f"-> {self.selection.backend})"
+        )
 
 
 class _DenseFactorization(LinearFactorization):
@@ -358,14 +419,21 @@ class _DenseFactorization(LinearFactorization):
         self._lu = lu
         self._piv = piv
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
         return scipy.linalg.lu_solve(
             (self._lu, self._piv), rhs, check_finite=False
         )
 
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        _count("solve", "dense")
+        return self._solve(rhs)
+
     def solve_many(self, rhs: np.ndarray) -> np.ndarray:
         """Single ``*getrs`` call over the whole ``(n, k)`` block."""
-        return self.solve(np.asarray(rhs))
+        rhs = np.asarray(rhs)
+        _count("solve_many", "dense")
+        _count("solve_many_rhs", "dense", rhs.shape[1] if rhs.ndim > 1 else 1)
+        return self._solve(rhs)
 
 
 class _DenseFactorizer(PatternFactorizer):
@@ -375,6 +443,7 @@ class _DenseFactorizer(PatternFactorizer):
         self._shape = pattern.shape
 
     def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        _count("refactorize", "dense")
         data = np.asarray(data)
         dense = np.zeros(self._shape, dtype=data.dtype)
         np.add.at(dense, (self._rows, self._cols), data)
@@ -394,10 +463,16 @@ class DenseLuBackend(SimulationBackend):
     name = "dense"
 
     def factorize(self, matrix: CooMatrix) -> LinearFactorization:
+        _count("factorize", "dense")
         return self.factorizer(matrix).refactorize(matrix.data)
 
     def factorizer(self, pattern: CooMatrix) -> PatternFactorizer:
         """Dense scatter pattern; refactorize rebuilds and refactors."""
+        _count("factorizer", "dense")
+        obs.observe(
+            "spice.backend.pattern_nnz", pattern.nnz,
+            buckets=obs.COUNT_BUCKETS, backend="dense",
+        )
         return _DenseFactorizer(pattern)
 
 
@@ -406,12 +481,19 @@ class _SparseFactorization(LinearFactorization):
         self._lu = lu
         self._dtype = dtype
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
         return self._lu.solve(np.asarray(rhs, dtype=self._dtype))
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        _count("solve", "sparse")
+        return self._solve(rhs)
 
     def solve_many(self, rhs: np.ndarray) -> np.ndarray:
         """Single SuperLU solve over the whole ``(n, k)`` block."""
-        return self.solve(np.asarray(rhs))
+        rhs = np.asarray(rhs)
+        _count("solve_many", "sparse")
+        _count("solve_many_rhs", "sparse", rhs.shape[1] if rhs.ndim > 1 else 1)
+        return self._solve(rhs)
 
 
 class _SparseFactorizer(PatternFactorizer):
@@ -436,6 +518,7 @@ class _SparseFactorizer(PatternFactorizer):
         ) = _compressed_dedup_map(pattern.cols, pattern.rows, pattern.shape[0])
 
     def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        _count("refactorize", "sparse")
         acc = _scatter_dedup(self._order, self._slot, self._n_unique, data)
         csc = scipy.sparse.csc_matrix(
             (acc, self._indices, self._indptr), shape=self._shape
@@ -453,10 +536,16 @@ class SparseLuBackend(SimulationBackend):
     name = "sparse"
 
     def factorize(self, matrix: CooMatrix) -> LinearFactorization:
+        _count("factorize", "sparse")
         return self.factorizer(matrix).refactorize(matrix.data)
 
     def factorizer(self, pattern: CooMatrix) -> PatternFactorizer:
         """CSC assembly map reused across revaluations of one pattern."""
+        _count("factorizer", "sparse")
+        obs.observe(
+            "spice.backend.pattern_nnz", pattern.nnz,
+            buckets=obs.COUNT_BUCKETS, backend="sparse",
+        )
         return _SparseFactorizer(pattern)
 
 
@@ -470,7 +559,7 @@ class _BandedFactorization(LinearFactorization):
         self._gbtrs = gbtrs
         self._dtype = dtype
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
         permuted = np.asarray(rhs, dtype=self._dtype)[self._perm]
         x, info = self._gbtrs(
             self._lu_band, self._kl, self._ku, permuted, self._piv
@@ -481,9 +570,16 @@ class _BandedFactorization(LinearFactorization):
         out[self._perm] = x
         return out
 
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        _count("solve", "banded")
+        return self._solve(rhs)
+
     def solve_many(self, rhs: np.ndarray) -> np.ndarray:
         """Single multi-RHS ``*gbtrs`` call over the ``(n, k)`` block."""
-        return self.solve(np.asarray(rhs))
+        rhs = np.asarray(rhs)
+        _count("solve_many", "banded")
+        _count("solve_many_rhs", "banded", rhs.shape[1] if rhs.ndim > 1 else 1)
+        return self._solve(rhs)
 
 
 class BandedLuBackend(SimulationBackend):
@@ -522,11 +618,22 @@ class BandedLuBackend(SimulationBackend):
         self._memo = (self._pattern_key(matrix), profile)
 
     def factorize(self, matrix: CooMatrix) -> LinearFactorization:
+        _count("factorize", "banded")
         return self.factorizer(matrix).refactorize(matrix.data)
 
     def factorizer(self, pattern: CooMatrix) -> PatternFactorizer:
         """RCM profile and banded index map reused across revaluations."""
-        return _BandedFactorizer(pattern, self._profile_for(pattern))
+        profile = self._profile_for(pattern)
+        _count("factorizer", "banded")
+        obs.observe(
+            "spice.backend.pattern_nnz", pattern.nnz,
+            buckets=obs.COUNT_BUCKETS, backend="banded",
+        )
+        obs.observe(
+            "spice.backend.band_width", profile.band_width,
+            buckets=obs.COUNT_BUCKETS, backend="banded",
+        )
+        return _BandedFactorizer(pattern, profile)
 
 
 class _BandedFactorizer(PatternFactorizer):
@@ -563,6 +670,7 @@ class _BandedFactorizer(PatternFactorizer):
         return ab.reshape(2 * kl + ku + 1, n)
 
     def refactorize(self, data: np.ndarray) -> LinearFactorization:
+        _count("refactorize", "banded")
         data = np.asarray(data)
         kl, ku = self._kl, self._ku
         ab = self._assemble(data)
@@ -621,13 +729,41 @@ def resolve_backend(
             raise ParameterError("backend='auto' needs the system matrix")
         n = matrix.shape[0]
         if n <= DENSE_SIZE_CUTOFF:
-            return DenseLuBackend()
-        profile = rcm_band_profile(matrix)
-        if profile.band_width <= max(24, n // 8):
-            backend = BandedLuBackend()
-            backend._seed_profile(matrix, profile)
-            return backend
-        return SparseLuBackend()
+            chosen: SimulationBackend = DenseLuBackend()
+            selection = BackendSelection(
+                backend="dense", rule="small-system", size=n, nnz=matrix.nnz
+            )
+        else:
+            profile = rcm_band_profile(matrix)
+            band_limit = max(24, n // 8)
+            if profile.band_width <= band_limit:
+                chosen = BandedLuBackend()
+                chosen._seed_profile(matrix, profile)
+                selection = BackendSelection(
+                    backend="banded",
+                    rule="narrow-band",
+                    size=n,
+                    nnz=matrix.nnz,
+                    band_width=profile.band_width,
+                    band_limit=band_limit,
+                )
+            else:
+                chosen = SparseLuBackend()
+                selection = BackendSelection(
+                    backend="sparse",
+                    rule="general-sparse",
+                    size=n,
+                    nnz=matrix.nnz,
+                    band_width=profile.band_width,
+                    band_limit=band_limit,
+                )
+        chosen.selection = selection
+        obs.inc(
+            "spice.backend.auto_selected",
+            backend=selection.backend,
+            rule=selection.rule,
+        )
+        return chosen
     try:
         return BACKENDS[name]()
     except KeyError:

@@ -59,6 +59,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import NetlistError, ParameterError
 from repro.spice.backend import CooMatrix, combine
 from repro.spice.netlist import (
@@ -395,6 +396,7 @@ class MnaStructure:
         non-finite entries, e.g. a zero resistance).
         """
         params = self._check_params(params)
+        obs.inc("spice.mna.revalue_calls")
 
         def get(name: str) -> np.float64:
             # np.float64 so a zero value inverts to inf (caught below)
@@ -429,6 +431,8 @@ class MnaStructure:
                 f"parameter columns have mismatched lengths {sorted(sizes)}"
             )
         n_points = sizes.pop() if sizes else 1
+        obs.inc("spice.mna.revalue_many_calls")
+        obs.inc("spice.mna.revalue_points", n_points)
         full = {
             name: np.broadcast_to(c, (n_points,)) for name, c in cols.items()
         }
@@ -644,6 +648,10 @@ def build_mna_structure(circuit: Circuit) -> MnaStructure:
         c.add_entry(m1, m2, const, terms)
         c.add_entry(m2, m1, const, terms)
 
+    obs.inc("spice.mna.structure_builds")
+    obs.observe(
+        "spice.mna.structure_size", size, buckets=obs.COUNT_BUCKETS
+    )
     return MnaStructure(
         g_plan=g.finish(size),
         c_plan=c.finish(size),

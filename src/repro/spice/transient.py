@@ -47,6 +47,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError, SimulationError
 from repro.spice.backend import SimulationBackend, _PatternCsr, resolve_backend
 from repro.spice.mna import CircuitTemplate, MnaStructure, MnaSystem, build_mna
@@ -198,49 +199,58 @@ def simulate_transient(
     if t_stop <= t_start:
         raise ParameterError("t_stop must exceed t_start")
 
-    system = build_mna(circuit)
-    times = _time_grid(t_start, t_stop, dt)
-    n_steps = times.size - 1
-    dt_eff = (t_stop - t_start) / n_steps
+    with obs.span("transient.simulate", method=method.value) as sp:
+        system = build_mna(circuit)
+        times = _time_grid(t_start, t_stop, dt)
+        n_steps = times.size - 1
+        dt_eff = (t_stop - t_start) / n_steps
 
-    if method is IntegrationMethod.BACKWARD_EULER:
-        lhs = system.combine(1.0, 1.0 / dt_eff)
-        history = system.c_coo.scaled(1.0 / dt_eff)
-    else:
-        lhs = system.combine(1.0, 2.0 / dt_eff)
-        history = system.combine(-1.0, 2.0 / dt_eff)
+        if method is IntegrationMethod.BACKWARD_EULER:
+            lhs = system.combine(1.0, 1.0 / dt_eff)
+            history = system.c_coo.scaled(1.0 / dt_eff)
+        else:
+            lhs = system.combine(1.0, 2.0 / dt_eff)
+            history = system.combine(-1.0, 2.0 / dt_eff)
 
-    backend = resolve_backend(backend, lhs)
-    # Factor the stepping matrix before the initial-state solve: the
-    # banded backend memoizes its last RCM profile, and the DC solve's
-    # different G-only pattern would otherwise evict the profile that
-    # resolve_backend("auto") just seeded for the LHS.
-    try:
-        factorization = backend.factorize(lhs)
-    except SimulationError as exc:
-        raise SimulationError(
-            f"singular transient system matrix (backend={backend.name})"
-        ) from exc
-    history_op = history.to_csr()
-
-    x = np.empty((n_steps + 1, system.size))
-    x[0] = _initial_state(system, initial, t_start, backend)
-    b_all = system.rhs_matrix(times)
-
-    if method is IntegrationMethod.BACKWARD_EULER:
-        for k in range(n_steps):
-            rhs = b_all[k + 1] + history_op @ x[k]
-            x[k + 1] = factorization.solve(rhs)
-    else:
-        for k in range(n_steps):
-            rhs = b_all[k + 1] + b_all[k] + history_op @ x[k]
-            x[k + 1] = factorization.solve(rhs)
-
-    if not np.all(np.isfinite(x)):
-        raise SimulationError(
-            "transient solution diverged (non-finite values); reduce dt"
+        backend = resolve_backend(backend, lhs)
+        sp.set(n=system.size, steps=n_steps, backend=backend.name)
+        obs.inc("spice.transient.runs")
+        obs.inc("spice.transient.steps", n_steps)
+        obs.observe(
+            "spice.transient.steps_per_run",
+            n_steps,
+            buckets=obs.COUNT_BUCKETS,
         )
-    return TransientResult(times=times, states=x, system=system)
+        # Factor the stepping matrix before the initial-state solve: the
+        # banded backend memoizes its last RCM profile, and the DC solve's
+        # different G-only pattern would otherwise evict the profile that
+        # resolve_backend("auto") just seeded for the LHS.
+        try:
+            factorization = backend.factorize(lhs)
+        except SimulationError as exc:
+            raise SimulationError(
+                f"singular transient system matrix (backend={backend.name})"
+            ) from exc
+        history_op = history.to_csr()
+
+        x = np.empty((n_steps + 1, system.size))
+        x[0] = _initial_state(system, initial, t_start, backend)
+        b_all = system.rhs_matrix(times)
+
+        if method is IntegrationMethod.BACKWARD_EULER:
+            for k in range(n_steps):
+                rhs = b_all[k + 1] + history_op @ x[k]
+                x[k + 1] = factorization.solve(rhs)
+        else:
+            for k in range(n_steps):
+                rhs = b_all[k + 1] + b_all[k] + history_op @ x[k]
+                x[k + 1] = factorization.solve(rhs)
+
+        if not np.all(np.isfinite(x)):
+            raise SimulationError(
+                "transient solution diverged (non-finite values); reduce dt"
+            )
+        return TransientResult(times=times, states=x, system=system)
 
 
 # ---------------------------------------------------------------------------
@@ -466,93 +476,111 @@ def simulate_transient_batch(
         for j in range(n_points):
             times[j] = np.linspace(t_start, float(t_stop[j]), n_steps + 1)
 
-    g_data, c_data = structure.revalue_many(columns)
-    pattern = structure.combined_pattern()
-    backend = resolve_backend(backend, pattern)
-    factorizer = backend.factorizer(pattern)
-
-    if method is IntegrationMethod.BACKWARD_EULER:
-        weight = 1.0 / dt_eff
-        g_hist_sign = 0.0
-    else:
-        weight = 2.0 / dt_eff
-        g_hist_sign = -1.0
-
-    # Structure-identical points with identical values share one
-    # numeric factorization (and one multi-RHS solve per step).
-    group_of: dict[tuple, int] = {}
-    group_members: list[list[int]] = []
-    for j in range(n_points):
-        key = (g_data[j].tobytes(), c_data[j].tobytes(), float(dt_eff[j]))
-        slot = group_of.setdefault(key, len(group_members))
-        if slot == len(group_members):
-            group_members.append([])
-        group_members[slot].append(j)
-
-    csr_map = _PatternCsr(pattern)
-    groups = []
-    for members in group_members:
-        j = members[0]
-        lhs = np.concatenate([g_data[j], weight[j] * c_data[j]])
-        hist = np.concatenate([g_hist_sign * g_data[j], weight[j] * c_data[j]])
-        try:
-            fact = factorizer.refactorize(lhs)
-        except SimulationError as exc:
-            raise SimulationError(
-                f"singular transient system matrix (backend={backend.name}) "
-                f"at batch point {j}"
-            ) from exc
-        groups.append((members, fact, csr_map.matrix(hist)))
-
-    # States live as (B, n): each point's vector is one contiguous row.
-    x = _batch_initial_state(
-        structure, g_data, initial, t_start, backend, group_members
-    )
-
-    rec_rows = _recorded_rows(structure, record)
-    states = np.empty((n_points, n_steps + 1, rec_rows.size))
-    states[:, 0, :] = x[:, rec_rows]
-
-    if shared_grid:
-        b_all = _rhs_matrix(structure, times)  # (n_steps + 1, size)
-    else:
-        b_prev = _rhs_rows(structure, times[:, 0])  # (B, size)
-
-    trapezoidal = method is IntegrationMethod.TRAPEZOIDAL
-    for k in range(n_steps):
-        if shared_grid:
-            b_term = b_all[k + 1] + b_all[k] if trapezoidal else b_all[k + 1]
-        else:
-            b_next = _rhs_rows(structure, times[:, k + 1])
-            b_term = b_next + b_prev if trapezoidal else b_next
-            b_prev = b_next
-        x_next = np.empty_like(x)
-        for members, fact, hist_op in groups:
-            if len(members) == 1:
-                j = members[0]
-                rhs = hist_op @ x[j]
-                rhs += b_term if shared_grid else b_term[j]
-                x_next[j] = fact.solve(rhs)
-            else:
-                rhs = hist_op @ x[members].T
-                if shared_grid:
-                    rhs += b_term[:, None]
-                else:
-                    rhs += b_term[members].T
-                x_next[members] = fact.solve_many(rhs).T
-        x = x_next
-        states[:, k + 1, :] = x[:, rec_rows]
-
-    if not (np.all(np.isfinite(states)) and np.all(np.isfinite(x))):
-        raise SimulationError(
-            "batched transient solution diverged (non-finite values); reduce dt"
+    with obs.span(
+        "transient.batch", points=n_points, steps=n_steps, method=method.value
+    ) as sp:
+        g_data, c_data = structure.revalue_many(columns)
+        pattern = structure.combined_pattern()
+        backend = resolve_backend(backend, pattern)
+        factorizer = backend.factorizer(pattern)
+        sp.set(n=size, backend=backend.name)
+        obs.inc("spice.transient.batch_runs")
+        obs.inc("spice.transient.batch_points", n_points)
+        obs.observe(
+            "spice.transient.batch_width", n_points, buckets=obs.COUNT_BUCKETS
         )
-    return TransientBatchResult(
-        times=times,
-        states=states,
-        structure=structure,
-        recorded_rows=tuple(int(r) for r in rec_rows),
-    )
+        obs.observe(
+            "spice.transient.steps_per_run", n_steps, buckets=obs.COUNT_BUCKETS
+        )
+
+        if method is IntegrationMethod.BACKWARD_EULER:
+            weight = 1.0 / dt_eff
+            g_hist_sign = 0.0
+        else:
+            weight = 2.0 / dt_eff
+            g_hist_sign = -1.0
+
+        # Structure-identical points with identical values share one
+        # numeric factorization (and one multi-RHS solve per step).
+        group_of: dict[tuple, int] = {}
+        group_members: list[list[int]] = []
+        for j in range(n_points):
+            key = (g_data[j].tobytes(), c_data[j].tobytes(), float(dt_eff[j]))
+            slot = group_of.setdefault(key, len(group_members))
+            if slot == len(group_members):
+                group_members.append([])
+            group_members[slot].append(j)
+
+        csr_map = _PatternCsr(pattern)
+        groups = []
+        for members in group_members:
+            j = members[0]
+            lhs = np.concatenate([g_data[j], weight[j] * c_data[j]])
+            hist = np.concatenate([g_hist_sign * g_data[j], weight[j] * c_data[j]])
+            try:
+                fact = factorizer.refactorize(lhs)
+            except SimulationError as exc:
+                raise SimulationError(
+                    f"singular transient system matrix (backend={backend.name}) "
+                    f"at batch point {j}"
+                ) from exc
+            groups.append((members, fact, csr_map.matrix(hist)))
+        sp.set(groups=len(groups))
+        obs.inc("spice.transient.factorizations", len(groups))
+        obs.inc(
+            "spice.transient.shared_factorization_reuse",
+            n_points - len(groups),
+        )
+
+        # States live as (B, n): each point's vector is one contiguous row.
+        x = _batch_initial_state(
+            structure, g_data, initial, t_start, backend, group_members
+        )
+
+        rec_rows = _recorded_rows(structure, record)
+        states = np.empty((n_points, n_steps + 1, rec_rows.size))
+        states[:, 0, :] = x[:, rec_rows]
+
+        if shared_grid:
+            b_all = _rhs_matrix(structure, times)  # (n_steps + 1, size)
+        else:
+            b_prev = _rhs_rows(structure, times[:, 0])  # (B, size)
+
+        trapezoidal = method is IntegrationMethod.TRAPEZOIDAL
+        for k in range(n_steps):
+            if shared_grid:
+                b_term = b_all[k + 1] + b_all[k] if trapezoidal else b_all[k + 1]
+            else:
+                b_next = _rhs_rows(structure, times[:, k + 1])
+                b_term = b_next + b_prev if trapezoidal else b_next
+                b_prev = b_next
+            x_next = np.empty_like(x)
+            for members, fact, hist_op in groups:
+                if len(members) == 1:
+                    j = members[0]
+                    rhs = hist_op @ x[j]
+                    rhs += b_term if shared_grid else b_term[j]
+                    x_next[j] = fact.solve(rhs)
+                else:
+                    rhs = hist_op @ x[members].T
+                    if shared_grid:
+                        rhs += b_term[:, None]
+                    else:
+                        rhs += b_term[members].T
+                    x_next[members] = fact.solve_many(rhs).T
+            x = x_next
+            states[:, k + 1, :] = x[:, rec_rows]
+
+        if not (np.all(np.isfinite(states)) and np.all(np.isfinite(x))):
+            raise SimulationError(
+                "batched transient solution diverged (non-finite values); reduce dt"
+            )
+        return TransientBatchResult(
+            times=times,
+            states=states,
+            structure=structure,
+            recorded_rows=tuple(int(r) for r in rec_rows),
+        )
 
 
 def _rhs_matrix(structure: MnaStructure, times: np.ndarray) -> np.ndarray:

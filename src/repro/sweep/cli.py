@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.errors import ReproError
 from repro.sweep.grid import Axis, ParameterGrid, Sweep
 from repro.sweep.runner import QUANTITIES, SweepRunner
@@ -111,6 +112,16 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=32,
         help="cap printed rows (evenly subsampled); 0 prints all",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable instrumentation and print the span tree after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="enable instrumentation and write the metrics JSON to PATH",
     )
 
 
@@ -224,6 +235,9 @@ def run_sweep(args: argparse.Namespace) -> int:
     if not args.quantity:
         print("a quantity is required (see --list)", file=sys.stderr)
         return 2
+    instrumented = bool(args.trace or args.metrics_out)
+    if instrumented:
+        obs.enable()
     try:
         sweep = build_sweep(args)
         runner = SweepRunner(
@@ -237,4 +251,14 @@ def run_sweep(args: argparse.Namespace) -> int:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
     print(render_table(table))
+    print(runner.stats.summary())
+    if args.trace:
+        print()
+        print(obs.render_trace())
+    if args.metrics_out:
+        path = obs.write_metrics(
+            args.metrics_out,
+            extra={"sweep": sweep.spec(), "stats": runner.stats.as_dict()},
+        )
+        print(f"metrics written to {path}")
     return 0

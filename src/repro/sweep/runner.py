@@ -49,6 +49,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.sweep import kernels
 from repro.sweep.grid import ParameterGrid, Sweep
@@ -235,6 +236,54 @@ class RunnerStats:
     #: requesting sweep (stale schema, tampered axes, wrong lengths).
     disk_invalid: int = 0
     misses: int = 0
+    #: Wall-clock seconds spent in fresh (non-cached) evaluations.
+    elapsed_s: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        """Cache hits of either tier (memory + disk)."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``run()`` calls served from a cache (0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every counter plus the derived rates."""
+        return {
+            "kernel_evaluations": self.kernel_evaluations,
+            "simulator_evaluations": self.simulator_evaluations,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "disk_invalid": self.disk_invalid,
+            "misses": self.misses,
+            "elapsed_s": self.elapsed_s,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (a fresh accounting window)."""
+        self.kernel_evaluations = 0
+        self.simulator_evaluations = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.disk_invalid = 0
+        self.misses = 0
+        self.elapsed_s = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest (printed after CLI sweeps)."""
+        return (
+            f"sweep stats: {self.kernel_evaluations} kernel + "
+            f"{self.simulator_evaluations} simulator point evaluations, "
+            f"cache {self.memory_hits} memory / {self.disk_hits} disk hits, "
+            f"{self.misses} misses"
+            + (f", {self.disk_invalid} invalid disk entries" if self.disk_invalid else "")
+            + f" ({self.hit_rate:.0%} hit rate), "
+            f"{self.elapsed_s:.3f} s evaluating"
+        )
 
 
 @dataclass(frozen=True, eq=False)
@@ -426,6 +475,19 @@ def _simulate_chunk(payload) -> list[float]:
     return [float(v) for v in simulated_delay_50_batch(lines, **options)]
 
 
+def _simulate_chunk_timed(payload) -> tuple[list[float], float]:
+    """:func:`_simulate_chunk` plus the chunk's wall-clock seconds.
+
+    The timing happens inside the worker (this function is module-level
+    so it pickles into process pools); the parent feeds the elapsed
+    seconds into the ``sweep.chunk_seconds`` histogram, which a worker
+    process could not reach (its registry is a different process's).
+    """
+    start = time.perf_counter()
+    chunk = _simulate_chunk(payload)
+    return chunk, time.perf_counter() - start
+
+
 class SweepRunner:
     """Evaluate sweeps with memoization and simulator fan-out.
 
@@ -478,24 +540,50 @@ class SweepRunner:
         racing on the same not-yet-cached sweep both evaluate it (the
         later result wins the cache slot).
         """
-        quantity = self._quantity(sweep)
-        key = sweep.cache_key()
-        if not refresh:
-            cached = self._load(key, sweep)
-            if cached is not None:
-                return cached
+        with obs.span(
+            "sweep.run", quantity=sweep.quantity, points=sweep.grid.size
+        ) as sp:
+            quantity = self._quantity(sweep)
+            key = sweep.cache_key()
+            if not refresh:
+                cached = self._load(key, sweep)
+                if cached is not None:
+                    sp.set(cache=cached.cache_hit)
+                    self.publish_stats()
+                    return cached
+            with self._lock:
+                self.stats.misses += 1
+            obs.inc("sweep.cache.misses")
+            sp.set(cache="miss")
+            columns, outputs, elapsed = self._evaluate(sweep, quantity)
+            result = SweepResult(
+                sweep=sweep,
+                columns=columns,
+                outputs=outputs,
+                cache_hit=None,
+                elapsed_s=elapsed,
+            )
+            self._store(key, result)
+            self.publish_stats()
+            return result
+
+    def publish_stats(self) -> None:
+        """Mirror :attr:`stats` into the metrics registry (gauges).
+
+        Called automatically after every :meth:`run`; a no-op while the
+        observability layer is disabled.  The per-event counters
+        (``sweep.cache.*``, ``sweep.evaluations``) increment at their
+        sites; the gauges published here carry the cumulative view --
+        including the derived ``sweep.cache.hit_rate`` -- so one metrics
+        snapshot answers "how effective was the cache" directly.
+        """
+        if not obs.enabled():
+            return
         with self._lock:
-            self.stats.misses += 1
-        columns, outputs, elapsed = self._evaluate(sweep, quantity)
-        result = SweepResult(
-            sweep=sweep,
-            columns=columns,
-            outputs=outputs,
-            cache_hit=None,
-            elapsed_s=elapsed,
-        )
-        self._store(key, result)
-        return result
+            snapshot = self.stats.as_dict()
+        for name, value in snapshot.items():
+            obs.set_gauge(f"sweep.stats.{name}", value)
+        obs.set_gauge("sweep.cache.hit_rate", snapshot["hit_rate"])
 
     def invalidate(self, sweep: Sweep) -> bool:
         """Drop any cached result for ``sweep``; True if one existed."""
@@ -533,6 +621,7 @@ class SweepRunner:
             if hit is not None:
                 self._memory.move_to_end(key)
                 self.stats.memory_hits += 1
+                obs.inc("sweep.cache.memory_hits")
                 return SweepResult(
                     sweep=sweep,
                     columns=hit.columns,
@@ -555,6 +644,7 @@ class SweepRunner:
         if problem is not None:
             with self._lock:
                 self.stats.disk_invalid += 1
+            obs.inc("sweep.cache.disk_invalid")
             warnings.warn(
                 f"ignoring sweep cache file {path}: {problem}; re-evaluating",
                 RuntimeWarning,
@@ -576,6 +666,7 @@ class SweepRunner:
             elapsed_s=float(payload.get("elapsed_s", 0.0)),
         )
         self.stats.disk_hits += 1
+        obs.inc("sweep.cache.disk_hits")
         self._remember(key, result)
         return result
 
@@ -677,6 +768,7 @@ class SweepRunner:
             outputs = {quantity.outputs[0]: _frozen_column(values, size)}
             with self._lock:
                 self.stats.simulator_evaluations += size
+            obs.inc("sweep.evaluations", size, kind="simulator")
         else:
             raw = quantity.fn(inputs)
             outputs = {
@@ -685,7 +777,10 @@ class SweepRunner:
             }
             with self._lock:
                 self.stats.kernel_evaluations += size
+            obs.inc("sweep.evaluations", size, kind="kernel")
         elapsed = time.perf_counter() - start
+        with self._lock:
+            self.stats.elapsed_s += elapsed
         full_columns = {
             name: _frozen_column(col, size) for name, col in columns.items()
         }
@@ -724,19 +819,31 @@ class SweepRunner:
             )
             for lo, hi in zip(bounds, bounds[1:])
         ]
-        if workers <= 1 or len(payloads) <= 1:
-            chunks = [_simulate_chunk(p) for p in payloads]
-        else:
-            pool_cls = (
-                concurrent.futures.ProcessPoolExecutor
-                if self.executor == "process"
-                else concurrent.futures.ThreadPoolExecutor
+        with obs.span(
+            "sweep.fan_out",
+            points=size,
+            chunks=len(payloads),
+            workers=min(workers, len(payloads)),
+            executor=self.executor,
+        ):
+            if workers <= 1 or len(payloads) <= 1:
+                timed = [_simulate_chunk_timed(p) for p in payloads]
+            else:
+                pool_cls = (
+                    concurrent.futures.ProcessPoolExecutor
+                    if self.executor == "process"
+                    else concurrent.futures.ThreadPoolExecutor
+                )
+                with pool_cls(max_workers=min(workers, len(payloads))) as pool:
+                    timed = list(pool.map(_simulate_chunk_timed, payloads))
+            for chunk, seconds in timed:
+                obs.observe("sweep.chunk_seconds", seconds)
+                obs.observe(
+                    "sweep.chunk_points", len(chunk), buckets=obs.COUNT_BUCKETS
+                )
+            return np.asarray(
+                [value for chunk, _ in timed for value in chunk], dtype=float
             )
-            with pool_cls(max_workers=min(workers, len(payloads))) as pool:
-                chunks = list(pool.map(_simulate_chunk, payloads))
-        return np.asarray(
-            [value for chunk in chunks for value in chunk], dtype=float
-        )
 
 
 # -- input resolution -------------------------------------------------------
