@@ -42,7 +42,13 @@ DOCS_DIR = pathlib.Path(__file__).parent
 REPO_ROOT = DOCS_DIR.parent
 
 #: Hand-written source pages, in navigation order.
-PAGES = ("index.md", "architecture.md", "equations.md", "instrumentation.md")
+PAGES = (
+    "index.md",
+    "architecture.md",
+    "equations.md",
+    "instrumentation.md",
+    "static-analysis.md",
+)
 
 STYLE = """
 body { font-family: Georgia, serif; max-width: 56rem; margin: 2rem auto;
@@ -91,6 +97,7 @@ class Builder:
                 ("architecture", "architecture.html"),
                 ("paper equations", "equations.html"),
                 ("instrumentation", "instrumentation.html"),
+                ("static analysis", "static-analysis.html"),
                 ("API reference", "api/index.html"),
             )
         )
@@ -283,7 +290,10 @@ def build_api_page(builder: Builder, module_name: str) -> None:
         if inspect.ismodule(obj):
             continue
         parts.append(f'<h3 id="{html.escape(name)}">{html.escape(name)}</h3>')
-        if inspect.isclass(obj) or callable(obj):
+        # typing aliases (Union[...], Callable[...]) report callable()
+        # True but are constants for documentation purposes.
+        is_type_alias = getattr(type(obj), "__module__", "") == "typing"
+        if not is_type_alias and (inspect.isclass(obj) or callable(obj)):
             kind = "class" if inspect.isclass(obj) else "function"
             signature = html.escape(f"{name}{_signature(obj)}")
             parts.append(f'<div class="sig"><code>{kind} {signature}</code></div>')

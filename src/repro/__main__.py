@@ -8,6 +8,8 @@ Usage::
     python -m repro sweep --list        # show the batch quantities
     python -m repro sweep propagation_delay --axis rt=log:100:5000:7 \\
         --fixed lt=1e-8 --fixed ct=1e-12
+    python -m repro lint                # static analysis of src/repro
+    python -m repro lint --fix-baseline # refresh manifest + baseline
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import sys
 from repro import obs
 from repro.experiments import REGISTRY, render_table
 from repro.experiments.common import metrics_footer
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.sweep.cli import add_sweep_arguments, run_sweep
 
 
@@ -54,6 +57,7 @@ def _cmd_run(exp_id: str, metrics: bool = False) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of Ismail & Friedman (DAC 1999): "
@@ -76,11 +80,21 @@ def main(argv: list[str] | None = None) -> int:
         "parameter grids with result caching (see repro.sweep).",
     )
     add_sweep_arguments(sweep_parser)
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the repository's static-analysis rules",
+        description="AST-based invariant checks: numerics fingerprint "
+        "guard, SI-unit hygiene, observability hygiene, API-surface "
+        "drift (see repro.lint and docs/static-analysis.md).",
+    )
+    add_lint_arguments(lint_parser)
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "sweep":
         return run_sweep(args)
+    if args.command == "lint":
+        return run_lint_command(args)
     return _cmd_run(args.experiment, metrics=args.metrics)
 
 

@@ -19,6 +19,8 @@ from repro.core.canonical import DriverLineLoad
 from repro.errors import ParameterError
 
 __all__ = [
+    "SAKURAI_LINE_COEFFICIENT",
+    "SAKURAI_LUMPED_COEFFICIENT",
     "sakurai_rc_delay_50",
     "distributed_rc_delay_50",
     "lc_bound_delay",

@@ -29,6 +29,7 @@ from repro.errors import AnalysisError
 from repro.tline.transfer import denominator_coefficients
 
 __all__ = [
+    "LN2",
     "elmore_delay",
     "elmore_delay_50",
     "two_pole_coefficients",

@@ -46,6 +46,10 @@ from repro.errors import (
 )
 
 __all__ = [
+    "H_FACTOR_SCALE",
+    "H_FACTOR_POWER",
+    "K_FACTOR_SCALE",
+    "K_FACTOR_POWER",
     "Buffer",
     "RepeaterDesign",
     "RepeaterSystem",

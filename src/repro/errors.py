@@ -8,6 +8,17 @@ misuse (wrong types, impossible arguments) at the lowest levels.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "ConvergenceError",
+    "SimulationError",
+    "NetlistError",
+    "AnalysisError",
+    "require_positive",
+    "require_nonnegative",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""

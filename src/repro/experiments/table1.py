@@ -21,7 +21,16 @@ from repro.core.simulate import simulated_delay_50
 from repro.experiments.common import ExperimentTable, render_table
 from repro.units import PS
 
-__all__ = ["RT_VALUES", "CT_VALUES", "LT_VALUES", "CT_TOTAL", "RTR", "run", "main"]
+__all__ = [
+    "RT_VALUES",
+    "CT_VALUES",
+    "LT_VALUES",
+    "CT_TOTAL",
+    "RTR",
+    "build_case",
+    "run",
+    "main",
+]
 
 RT_VALUES = (0.1, 0.5, 1.0)
 CT_VALUES = (0.1, 0.5, 1.0)

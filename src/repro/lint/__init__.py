@@ -1,0 +1,82 @@
+"""repro.lint -- stdlib-only static analysis of this codebase.
+
+Four layers of this repository rest on conventions no off-the-shelf
+tool knows about, so this package makes them machine-checked before
+every merge (``python -m repro lint``; the CI ``lint`` job fails on
+any non-baselined finding):
+
+- **numerics fingerprint guard** (NUM001-NUM004): the sweep disk
+  cache replays results keyed on ``SIMULATOR_VERSION`` /
+  ``KERNEL_VERSION``; every cache-keyed kernel module's normalized
+  AST hash is pinned in ``numerics_manifest.json`` and a kernel edit
+  without a version bump (or a bump without an edit) fails the lint;
+- **SI-unit hygiene** (UNI001/UNI002): bare power-of-ten literals on
+  physical keyword arguments, and ``+``/``-`` mixing operands whose
+  declared dimensions disagree;
+- **observability hygiene** (OBS001/OBS002): ``obs.*`` calls inside
+  hot-path loops must be gated per the ``NOOP_SPAN``/``_state``
+  idiom (the <= 2%-overhead guarantee), and durations must come from
+  ``time.perf_counter()``, never ``time.time()``;
+- **API surface** (API001/API002) and generic pitfalls
+  (DEF001 mutable defaults, EXC001 silent excepts).
+
+Findings can be suppressed inline (``# repro-lint: disable=UNI001``,
+``disable-file=...``) or grandfathered in the committed baseline;
+``--fix-baseline`` regenerates both the manifest and the baseline.
+Everything here is standard library and purely syntactic -- the rules
+parse source with :mod:`ast` and never import the code they check.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import DEFAULT_CONFIG, UNIT_DIMENSIONS, LintConfig
+from repro.lint.engine import (
+    ERROR,
+    NOTE,
+    WARNING,
+    Finding,
+    LintResult,
+    Project,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    default_package_root,
+    run_lint,
+)
+from repro.lint.fingerprint import (
+    FingerprintGuard,
+    build_manifest,
+    load_manifest,
+    normalized_fingerprint,
+    write_manifest,
+)
+from repro.lint.rules import all_rules, rule_catalogue
+
+__all__ = [
+    # severities
+    "ERROR",
+    "WARNING",
+    "NOTE",
+    # engine
+    "Finding",
+    "LintResult",
+    "Project",
+    "Rule",
+    "ProjectRule",
+    "SourceFile",
+    "run_lint",
+    "default_package_root",
+    # configuration
+    "LintConfig",
+    "DEFAULT_CONFIG",
+    "UNIT_DIMENSIONS",
+    # fingerprint guard
+    "FingerprintGuard",
+    "normalized_fingerprint",
+    "build_manifest",
+    "load_manifest",
+    "write_manifest",
+    # registry
+    "all_rules",
+    "rule_catalogue",
+]

@@ -1,0 +1,65 @@
+"""CLI glue for ``python -m repro lint``.
+
+Kept separate from :mod:`repro.__main__` so the argument surface can
+be tested without spawning a subprocess, mirroring
+:mod:`repro.sweep.cli`.
+
+Usage::
+
+    python -m repro lint                      # lint src/repro, text report
+    python -m repro lint --format json        # machine-readable findings
+    python -m repro lint core spice/mna.py    # restrict per-file rules
+    python -m repro lint --fix-baseline       # refresh manifest + baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.lint.engine import default_package_root, run_lint
+
+__all__ = ["add_lint_arguments", "run_lint_command"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (package-relative or absolute) to "
+        "restrict the per-file rules to; project-level checks such as "
+        "the numerics fingerprint guard always see the whole package",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="regenerate the numerics manifest and rewrite the "
+        "baseline from the remaining findings, leaving the run clean",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute the lint run described by parsed ``args``."""
+    root = default_package_root()
+    paths = []
+    for raw in args.paths:
+        candidate = pathlib.Path(raw)
+        if not candidate.is_absolute() and (root / raw).exists():
+            candidate = root / raw
+        paths.append(candidate)
+    result = run_lint(
+        root=root, paths=paths or None, fix_baseline=args.fix_baseline
+    )
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.render_text())
+    return result.exit_code

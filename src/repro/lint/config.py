@@ -1,0 +1,176 @@
+"""Repository-specific configuration of the static-analysis pass.
+
+Everything the rule engine needs to know about *this* codebase lives
+here, in one frozen dataclass: which modules carry the cache-keyed
+numeric kernels (the fingerprint manifest scope), where the version
+sentinels (``SIMULATOR_VERSION``/``KERNEL_VERSION``) are defined,
+which modules are hot paths (observability calls inside their loops
+must be gated), which keyword arguments carry SI quantities, and the
+dimension of every :mod:`repro.units` constant.
+
+Tests build small :class:`LintConfig` instances pointing at synthetic
+packages; the shipped :data:`DEFAULT_CONFIG` describes ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "LintConfig",
+    "DEFAULT_CONFIG",
+    "UNIT_DIMENSIONS",
+]
+
+#: Dimension of every *dimension-carrying* public constant of
+#: :mod:`repro.units`.  The generic decade multipliers (``ATTO`` ...
+#: ``TERA``, ``UNIT``) are deliberately absent: multiplying by them
+#: does not establish a physical dimension.  ``tests/test_lint.py``
+#: asserts this table and :mod:`repro.units` cannot drift apart.
+UNIT_DIMENSIONS: dict[str, str] = {
+    # resistance
+    "OHM": "resistance",
+    "MILLIOHM": "resistance",
+    "KILOOHM": "resistance",
+    "MEGAOHM": "resistance",
+    # capacitance
+    "FARAD": "capacitance",
+    "AF": "capacitance",
+    "FF": "capacitance",
+    "PF": "capacitance",
+    "NF": "capacitance",
+    "UF": "capacitance",
+    # inductance
+    "HENRY": "inductance",
+    "FH": "inductance",
+    "PH": "inductance",
+    "NH": "inductance",
+    "UH": "inductance",
+    # time
+    "SECOND": "time",
+    "FS": "time",
+    "PS": "time",
+    "NS": "time",
+    "US": "time",
+    "MS": "time",
+    # length
+    "METER": "length",
+    "NM": "length",
+    "UM": "length",
+    "MM": "length",
+    "CM": "length",
+    # frequency
+    "HZ": "frequency",
+    "KHZ": "frequency",
+    "MHZ": "frequency",
+    "GHZ": "frequency",
+    # voltage / power
+    "VOLT": "voltage",
+    "MV": "voltage",
+    "WATT": "power",
+    "MW": "power",
+    "UW": "power",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """What the rules check, expressed as package-relative paths.
+
+    All path entries are POSIX-style and relative to the linted
+    package root (for the shipped configuration: ``src/repro``), so
+    the configuration is independent of where the repository is
+    checked out.  Glob patterns (``tline/*.py``) are expanded against
+    the files actually present, which is how *new* modules in a
+    fingerprinted subtree are pulled under the numerics guard
+    automatically.
+    """
+
+    #: Modules whose normalized AST fingerprints are pinned in the
+    #: numerics manifest: the closed-form kernels and every simulation
+    #: route whose numerics the sweep disk cache keys on (see
+    #: :meth:`repro.sweep.grid.Sweep.cache_key`).
+    kernel_modules: tuple[str, ...] = (
+        "core/delay.py",
+        "core/penalty.py",
+        "core/repeater.py",
+        "core/simulate.py",
+        "spice/mna.py",
+        "spice/transient.py",
+        "spice/ac.py",
+        "spice/dc.py",
+        "spice/backend.py",
+        "spice/statespace.py",
+        "spice/ladder.py",
+        "tline/*.py",
+        "analysis/bus.py",
+        "sweep/kernels.py",
+    )
+
+    #: ``name -> (module, variable)`` for the cache-key version
+    #: sentinels.  A fingerprint change without a bump of (at least)
+    #: one of these is the NUM001 contract violation.
+    version_sources: tuple[tuple[str, str, str], ...] = (
+        ("simulator_version", "core/simulate.py", "SIMULATOR_VERSION"),
+        ("kernel_version", "sweep/kernels.py", "KERNEL_VERSION"),
+    )
+
+    #: Modules allowed to import the version sentinels without being
+    #: fingerprinted themselves: the cache-key *consumers*.  Any other
+    #: importer must appear in the manifest (drift guard in
+    #: ``tests/test_lint.py``).
+    cache_consumers: frozenset = frozenset({"sweep/grid.py"})
+
+    #: Modules whose loops are performance-critical: ``obs.*`` calls
+    #: inside their ``for``/``while`` bodies must be gated per the
+    #: ``repro.obs._state`` idiom (OBS001).
+    hot_path_modules: tuple[str, ...] = (
+        "spice/*.py",
+        "sweep/runner.py",
+        "sweep/kernels.py",
+        "tline/*.py",
+        "analysis/bus.py",
+        "core/simulate.py",
+    )
+
+    #: Keyword arguments that carry dimensioned SI quantities; passing
+    #: a bare power-of-ten scientific literal to one of these is the
+    #: UNI001 magic-number finding.
+    si_call_kwargs: frozenset = frozenset(
+        {
+            "rt",
+            "rtr",
+            "lt",
+            "ct",
+            "cl",
+            "cct",
+            "r0",
+            "c0",
+            "dt",
+            "t_stop",
+            "t_rise",
+            "length",
+            "sep",
+            "spacing",
+            "width",
+            "pitch",
+        }
+    )
+
+    #: ``units``-constant name -> physical dimension (UNI002).
+    unit_dimensions: dict = dataclasses.field(
+        default_factory=lambda: dict(UNIT_DIMENSIONS)
+    )
+
+    #: Module files exempt from the module-level ``__all__``
+    #: requirement (entry-point scripts; ``_private.py`` modules are
+    #: always exempt).
+    exempt_missing_all: frozenset = frozenset({"__main__.py"})
+
+    #: Manifest / baseline locations, relative to the package root.
+    manifest_relpath: str = "lint/numerics_manifest.json"
+    baseline_relpath: str = "lint/baseline.json"
+
+
+#: The configuration the CLI uses for ``src/repro``.
+DEFAULT_CONFIG = LintConfig()

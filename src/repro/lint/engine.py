@@ -1,0 +1,496 @@
+"""Rule engine: findings, suppressions, baseline, and the lint run.
+
+The framework is deliberately stdlib-only and purely *syntactic*:
+every rule works on ``ast`` trees and raw source text and never
+imports the code under analysis, so a lint run cannot be perturbed by
+import-time side effects (and conversely cannot break when a module
+under repair does not import).
+
+Data flow of one run (:func:`run_lint`):
+
+1. discover the ``*.py`` files under the package root into a
+   :class:`Project`;
+2. run every per-file :class:`Rule` and every :class:`ProjectRule`
+   (the numerics fingerprint guard) to collect :class:`Finding`\\ s;
+3. drop findings suppressed by an inline
+   ``# repro-lint: disable=RULE`` (same line) or
+   ``# repro-lint: disable-file=RULE`` comment;
+4. mark findings matching the committed baseline file as grandfathered
+   (they are reported but do not fail the run), and report stale
+   baseline entries as notes;
+5. return a :class:`LintResult` whose :attr:`~LintResult.exit_code`
+   is non-zero iff an *active* error/warning finding remains.
+
+``--fix-baseline`` refreshes the numerics manifest first and then
+rewrites the baseline from the surviving findings, so both committed
+artifacts stay regenerable with one command.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import fnmatch
+import io
+import json
+import pathlib
+import re
+import tokenize
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "NOTE",
+    "META_RULE_ID",
+    "SYNTAX_RULE_ID",
+    "Finding",
+    "SourceFile",
+    "Project",
+    "Rule",
+    "ProjectRule",
+    "LintResult",
+    "run_lint",
+    "default_package_root",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Finding severities, in decreasing order of gravity.  Errors and
+#: warnings fail the run unless baselined or suppressed; notes are
+#: informational only.
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+
+#: Rule id of the engine's own housekeeping notes: stale baseline
+#: entries and unknown rule ids inside suppression comments.
+META_RULE_ID = "LNT001"
+
+#: Rule id reported when a file does not parse at all.
+SYNTAX_RULE_ID = "LNT002"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclasses.dataclass
+class Finding:
+    """One reported defect: rule id, severity, location, message.
+
+    ``line`` is 1-based; 0 marks whole-file or project-level findings
+    (e.g. a missing manifest).  ``baselined`` findings are shown but
+    do not affect the exit code.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    baselined: bool = False
+
+    def sort_key(self) -> tuple:
+        """Stable report order: by file, then line, then rule id."""
+        return (self.path, self.line, self.rule, self.message)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the ``--format json`` shape)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        """One text-format report line."""
+        mark = "  [baselined]" if self.baselined else ""
+        return (
+            f"{self.path or '<project>'}:{self.line}: "
+            f"{self.rule} {self.severity}: {self.message}{mark}"
+        )
+
+
+class SourceFile:
+    """One module under analysis: text, lazy AST, suppressions."""
+
+    def __init__(self, path: pathlib.Path, relpath: str) -> None:
+        self.path = path
+        #: POSIX path relative to the package root (finding locations,
+        #: manifest keys and baseline entries all use this form).
+        self.relpath = relpath
+        self.text = path.read_text()
+        self._tree: ast.Module | None = None
+        self._suppressions: tuple[frozenset, dict, list] | None = None
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed module (raises ``SyntaxError`` on bad source)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=str(self.path))
+        return self._tree
+
+    def _parse_suppressions(self) -> tuple[frozenset, dict, list]:
+        if self._suppressions is not None:
+            return self._suppressions
+        file_ids: set[str] = set()
+        line_ids: dict[int, set[str]] = {}
+        mentioned: list[tuple[int, str]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            comments = [
+                tok for tok in tokens if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            comments = []
+        for tok in comments:
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(2).split(",")}
+            for rule_id in ids:
+                mentioned.append((tok.start[0], rule_id))
+            if match.group(1) == "disable-file":
+                file_ids |= ids
+            else:
+                line_ids.setdefault(tok.start[0], set()).update(ids)
+        self._suppressions = (frozenset(file_ids), line_ids, mentioned)
+        return self._suppressions
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when an inline comment disables ``finding`` here."""
+        file_ids, line_ids, _ = self._parse_suppressions()
+        if finding.rule in file_ids:
+            return True
+        return finding.rule in line_ids.get(finding.line, ())
+
+    def suppression_mentions(self) -> list[tuple[int, str]]:
+        """Every ``(line, rule_id)`` named by a suppression comment."""
+        return self._parse_suppressions()[2]
+
+
+class Project:
+    """The package under analysis: root directory plus its modules.
+
+    ``paths`` (files or directories) restricts which modules the
+    per-file rules visit; project-level rules such as the numerics
+    fingerprint guard always see the full tree, since a partial view
+    of the manifest would mis-report drift.
+    """
+
+    def __init__(
+        self,
+        root: pathlib.Path,
+        config: LintConfig,
+        paths: list | None = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.config = config
+        self.all_files = [
+            SourceFile(p, p.relative_to(self.root).as_posix())
+            for p in sorted(self.root.rglob("*.py"))
+        ]
+        if paths:
+            wanted = [pathlib.Path(p).resolve() for p in paths]
+            self.files = [
+                f
+                for f in self.all_files
+                if any(
+                    f.path.resolve() == w or w in f.path.resolve().parents
+                    for w in wanted
+                )
+            ]
+        else:
+            self.files = list(self.all_files)
+        self.file_map = {f.relpath: f for f in self.all_files}
+
+    def glob(self, patterns: tuple) -> list:
+        """Package-relative paths of all files matching ``patterns``."""
+        return sorted(
+            f.relpath
+            for f in self.all_files
+            if any(fnmatch.fnmatch(f.relpath, pat) for pat in patterns)
+        )
+
+
+class Rule:
+    """Base class of per-file rules (``ast``-level checks).
+
+    Subclasses set ``id``/``severity``/``summary`` and implement
+    :meth:`check`, yielding :class:`Finding`\\ s for one module.
+    """
+
+    id = "RULE"
+    severity = WARNING
+    summary = ""
+
+    @property
+    def ids(self) -> tuple:
+        """All finding ids this rule can emit (for validation)."""
+        return (self.id,)
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Yield findings for ``source`` (override in subclasses)."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        source: SourceFile,
+        node,
+        message: str,
+        rule_id: str | None = None,
+        severity: str | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (or an int line)."""
+        line = node if isinstance(node, int) else node.lineno
+        return Finding(
+            rule=rule_id or self.id,
+            severity=severity or self.severity,
+            path=source.relpath,
+            line=line,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that checks the whole project at once (not per file)."""
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Project rules do not run per file."""
+        return ()
+
+    def check_project(self, project: Project, config: LintConfig):
+        """Yield findings for the project (override in subclasses)."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run: findings plus derived summaries."""
+
+    root: str
+    findings: list
+    suppressed_count: int = 0
+
+    @property
+    def active(self) -> list:
+        """Error/warning findings that are not baselined."""
+        return [
+            f
+            for f in self.findings
+            if f.severity in (ERROR, WARNING) and not f.baselined
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean (only notes / baselined findings), else 1."""
+        return 1 if self.active else 0
+
+    def counts(self) -> dict:
+        """Finding tallies by severity plus baselined/suppressed."""
+        out = {ERROR: 0, WARNING: 0, NOTE: 0, "baselined": 0}
+        for f in self.findings:
+            if f.baselined:
+                out["baselined"] += 1
+            else:
+                out[f.severity] += 1
+        out["suppressed"] = self.suppressed_count
+        return out
+
+    def as_dict(self) -> dict:
+        """The schema-versioned ``--format json`` document."""
+        return {
+            "schema": 1,
+            "generated_by": "repro.lint",
+            "root": self.root,
+            "clean": self.exit_code == 0,
+            "counts": self.counts(),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        """The human-readable report (one line per finding)."""
+        lines = [f.render() for f in self.findings]
+        counts = self.counts()
+        summary = (
+            f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+            f"{counts[NOTE]} note(s), {counts['baselined']} baselined, "
+            f"{counts['suppressed']} suppressed"
+        )
+        lines.append(("" if not lines else "") + summary)
+        if self.exit_code == 0:
+            lines.append("clean")
+        return "\n".join(lines)
+
+
+def default_package_root() -> pathlib.Path:
+    """The ``repro`` package directory this module is installed in."""
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_baseline(path: pathlib.Path) -> list:
+    """Read the committed baseline entries (empty when absent)."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text())
+    return list(data.get("findings", []))
+
+
+def write_baseline(path: pathlib.Path, findings: list) -> None:
+    """Write ``findings`` as the new grandfathered baseline."""
+    entries = sorted(
+        (
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["message"]),
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"schema": 1, "findings": entries}, indent=2) + "\n"
+    )
+
+
+def _apply_baseline(
+    findings: list, entries: list
+) -> list:
+    """Mark baselined findings in place; return stale-entry notes.
+
+    Matching is by ``(rule, path, message)`` -- deliberately not by
+    line number, so unrelated edits that shift code do not invalidate
+    the baseline.  Each entry grandfathers one finding (multiset
+    semantics); entries matching nothing are reported as stale notes
+    so baselines shrink as debt is paid down.
+    """
+    pool: dict[tuple, int] = {}
+    for entry in entries:
+        key = (entry["rule"], entry["path"], entry["message"])
+        pool[key] = pool.get(key, 0) + 1
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.message)
+        if pool.get(key, 0) > 0:
+            pool[key] -= 1
+            finding.baselined = True
+    notes = []
+    for (rule, path, message), left in sorted(pool.items()):
+        for _ in range(left):
+            notes.append(
+                Finding(
+                    rule=META_RULE_ID,
+                    severity=NOTE,
+                    path=path,
+                    line=0,
+                    message=(
+                        f"stale baseline entry for {rule} "
+                        f"({message!r}); remove it or run --fix-baseline"
+                    ),
+                )
+            )
+    return notes
+
+
+def run_lint(
+    root: pathlib.Path | None = None,
+    config: LintConfig | None = None,
+    paths: list | None = None,
+    fix_baseline: bool = False,
+) -> LintResult:
+    """Run every rule over the package rooted at ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory;
+    ``config`` to :data:`repro.lint.config.DEFAULT_CONFIG`.  With
+    ``fix_baseline`` the numerics manifest is regenerated *before*
+    checking (so NUM findings resolve) and the surviving error/warning
+    findings are written to the baseline file afterwards, leaving the
+    run clean.
+    """
+    from repro.lint import fingerprint
+    from repro.lint.rules import all_rules
+
+    config = config or DEFAULT_CONFIG
+    root = pathlib.Path(root) if root is not None else default_package_root()
+    project = Project(root, config, paths)
+    rules = all_rules()
+    if fix_baseline:
+        fingerprint.write_manifest(project, config)
+
+    findings: list[Finding] = []
+    valid_ids = {META_RULE_ID, SYNTAX_RULE_ID}
+    for rule in rules:
+        valid_ids.update(rule.ids)
+
+    broken: set[str] = set()
+    for source in project.all_files:
+        try:
+            source.tree
+        except SyntaxError as exc:
+            broken.add(source.relpath)
+            findings.append(
+                Finding(
+                    rule=SYNTAX_RULE_ID,
+                    severity=ERROR,
+                    path=source.relpath,
+                    line=exc.lineno or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+
+    for source in project.files:
+        if source.relpath in broken:
+            continue
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            findings.extend(rule.check(source, config))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project, config))
+
+    # Inline suppressions (and unknown ids named by them).
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        source = project.file_map.get(finding.path)
+        if source is not None and source.suppressed(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for source in project.files:
+        if source.relpath in broken:
+            continue
+        for line, rule_id in source.suppression_mentions():
+            if rule_id not in valid_ids:
+                kept.append(
+                    Finding(
+                        rule=META_RULE_ID,
+                        severity=NOTE,
+                        path=source.relpath,
+                        line=line,
+                        message=(
+                            f"suppression names unknown rule "
+                            f"{rule_id!r}"
+                        ),
+                    )
+                )
+
+    baseline_path = root / config.baseline_relpath
+    if fix_baseline:
+        grandfather = [
+            f for f in kept if f.severity in (ERROR, WARNING)
+        ]
+        write_baseline(baseline_path, grandfather)
+        for finding in grandfather:
+            finding.baselined = True
+    else:
+        kept.extend(_apply_baseline(kept, load_baseline(baseline_path)))
+
+    kept.sort(key=Finding.sort_key)
+    return LintResult(
+        root=str(root), findings=kept, suppressed_count=suppressed
+    )

@@ -1,0 +1,307 @@
+"""Numerics fingerprint guard: AST hashes vs ``SIMULATOR_VERSION``.
+
+The sweep disk cache replays results across processes keyed on
+``SIMULATOR_VERSION`` / ``KERNEL_VERSION``
+(:meth:`repro.sweep.grid.Sweep.cache_key`): if a numeric kernel
+changes behaviour without a version bump, every cached sweep silently
+serves stale numbers.  Nothing in the language enforces that contract
+-- this module does, statically:
+
+- every kernel module named by
+  :attr:`repro.lint.config.LintConfig.kernel_modules` is *normalized*
+  (docstrings stripped, ``__all__`` and the version-sentinel
+  assignments dropped -- so documentation-only edits and the bump
+  itself never trip the guard) and hashed into the committed manifest
+  ``src/repro/lint/numerics_manifest.json``;
+- at lint time the recomputed hashes and the current version sentinels
+  are compared against the manifest: a hash change without a version
+  bump is NUM001, a version bump without any hash change is NUM002,
+  a stale or missing manifest entry is NUM003, and a bump *with*
+  changes is a NUM004 note reminding the author to refresh the
+  manifest with ``--fix-baseline``.
+
+The normalization is purely syntactic (comments never reach the AST;
+``ast.dump`` without attributes drops line numbers), so formatting
+and comment edits are invisible while any expression change -- a
+coefficient, an operator, a reordered term -- flips the hash.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pathlib
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import (
+    ERROR,
+    NOTE,
+    Finding,
+    Project,
+    ProjectRule,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "normalized_fingerprint",
+    "read_version",
+    "load_manifest",
+    "build_manifest",
+    "write_manifest",
+    "FingerprintGuard",
+    "CONTRACT",
+]
+
+#: Schema tag of the manifest document.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Top-level assignment targets dropped during normalization: the
+#: version sentinels (so the bump itself does not change the hash the
+#: bump is compared against) and the API-surface list (exporting a
+#: name is not a numerics change).
+_STRIPPED_ASSIGNMENTS = frozenset(
+    {"SIMULATOR_VERSION", "KERNEL_VERSION", "__all__"}
+)
+
+#: One-paragraph statement of the contract, embedded in findings so
+#: the failure is self-explanatory at the CI log.
+CONTRACT = (
+    "cached sweep results are keyed on SIMULATOR_VERSION/KERNEL_VERSION "
+    "(repro.sweep.grid.Sweep.cache_key); a kernel change without a "
+    "version bump makes the disk cache silently replay stale numerics. "
+    "Bump the version in the kernel's version module, or -- if the "
+    "change is provably numerics-neutral (a pure refactor) -- refresh "
+    "the manifest with `python -m repro lint --fix-baseline`."
+)
+
+
+def _strip_docstring(body: list) -> list:
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        rest = body[1:]
+        return rest if rest else [ast.Pass()]
+    return body
+
+
+def normalized_fingerprint(text: str) -> str:
+    """SHA-256 over the normalized AST of ``text``.
+
+    Stable under comment, whitespace, docstring, ``__all__`` and
+    version-sentinel edits; changed by any other syntactic change.
+    """
+    tree = ast.parse(text)
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            node.body = _strip_docstring(node.body)
+    tree.body = [
+        node
+        for node in tree.body
+        if not (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id in _STRIPPED_ASSIGNMENTS
+                for t in node.targets
+            )
+        )
+    ]
+    dump = ast.dump(tree, annotate_fields=False, include_attributes=False)
+    return hashlib.sha256(dump.encode()).hexdigest()
+
+
+def read_version(project: Project, relpath: str, variable: str):
+    """The integer assigned to ``variable`` in ``relpath`` (or None).
+
+    Read from the AST, not by importing the module, so the guard works
+    on source trees that do not import (or are mid-edit).
+    """
+    source = project.file_map.get(relpath)
+    if source is None:
+        return None
+    try:
+        tree = source.tree
+    except SyntaxError:
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == variable
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    return node.value.value
+    return None
+
+
+def _current_versions(project: Project, config: LintConfig) -> dict:
+    return {
+        name: read_version(project, relpath, variable)
+        for name, relpath, variable in config.version_sources
+    }
+
+
+def load_manifest(path: pathlib.Path):
+    """The committed manifest document, or ``None`` when absent."""
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def build_manifest(project: Project, config: LintConfig) -> dict:
+    """Compute the manifest document for the project as it stands."""
+    fingerprints = {}
+    for relpath in project.glob(config.kernel_modules):
+        source = project.file_map[relpath]
+        try:
+            fingerprints[relpath] = normalized_fingerprint(source.text)
+        except SyntaxError:
+            continue
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "versions": _current_versions(project, config),
+        "fingerprints": fingerprints,
+    }
+
+
+def write_manifest(project: Project, config: LintConfig) -> pathlib.Path:
+    """Write the recomputed manifest to its configured location."""
+    path = project.root / config.manifest_relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(build_manifest(project, config), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+class FingerprintGuard(ProjectRule):
+    """NUM001-NUM004: the cache-invalidation contract, machine-checked."""
+
+    id = "NUM001"
+    severity = ERROR
+    summary = (
+        "numeric-kernel fingerprint changed without a "
+        "SIMULATOR_VERSION/KERNEL_VERSION bump (and related manifest "
+        "integrity checks NUM002-NUM004)"
+    )
+
+    @property
+    def ids(self) -> tuple:
+        """NUM001 drift, NUM002 idle bump, NUM003 stale manifest,
+        NUM004 refresh-pending note."""
+        return ("NUM001", "NUM002", "NUM003", "NUM004")
+
+    def check_project(self, project: Project, config: LintConfig):
+        """Compare current fingerprints/versions with the manifest."""
+        manifest_path = project.root / config.manifest_relpath
+        manifest_rel = manifest_path.relative_to(project.root).as_posix()
+        manifest = load_manifest(manifest_path)
+        current = build_manifest(project, config)
+
+        for name, relpath, variable in config.version_sources:
+            if current["versions"][name] is None:
+                yield Finding(
+                    rule="NUM003",
+                    severity=ERROR,
+                    path=relpath,
+                    line=0,
+                    message=(
+                        f"version sentinel {variable} not found as a "
+                        f"literal int assignment in {relpath}"
+                    ),
+                )
+        if manifest is None:
+            yield Finding(
+                rule="NUM003",
+                severity=ERROR,
+                path=manifest_rel,
+                line=0,
+                message=(
+                    "numerics manifest is missing; generate it with "
+                    "`python -m repro lint --fix-baseline`"
+                ),
+            )
+            return
+
+        recorded = manifest.get("fingerprints", {})
+        computed = current["fingerprints"]
+        for relpath in sorted(set(computed) - set(recorded)):
+            yield Finding(
+                rule="NUM003",
+                severity=ERROR,
+                path=relpath,
+                line=0,
+                message=(
+                    f"kernel module {relpath} is not fingerprinted in "
+                    f"{manifest_rel}; run --fix-baseline to bring it "
+                    "under the numerics guard"
+                ),
+            )
+        for relpath in sorted(set(recorded) - set(computed)):
+            yield Finding(
+                rule="NUM003",
+                severity=ERROR,
+                path=relpath,
+                line=0,
+                message=(
+                    f"manifest entry {relpath} no longer matches a "
+                    "kernel module on disk; run --fix-baseline"
+                ),
+            )
+
+        changed = sorted(
+            relpath
+            for relpath in set(recorded) & set(computed)
+            if recorded[relpath] != computed[relpath]
+        )
+        bumped = current["versions"] != manifest.get("versions", {})
+        if changed and not bumped:
+            for relpath in changed:
+                yield Finding(
+                    rule="NUM001",
+                    severity=ERROR,
+                    path=relpath,
+                    line=0,
+                    message=(
+                        f"numeric kernel {relpath} changed but neither "
+                        "SIMULATOR_VERSION nor KERNEL_VERSION was "
+                        "bumped: " + CONTRACT
+                    ),
+                )
+        elif bumped and not changed:
+            yield Finding(
+                rule="NUM002",
+                severity=ERROR,
+                path=manifest_rel,
+                line=0,
+                message=(
+                    "SIMULATOR_VERSION/KERNEL_VERSION was bumped "
+                    f"({manifest.get('versions')} -> "
+                    f"{current['versions']}) but no fingerprinted "
+                    "kernel changed; a no-op bump invalidates every "
+                    "cached sweep for nothing -- revert it, or run "
+                    "--fix-baseline if the manifest is stale"
+                ),
+            )
+        elif bumped and changed:
+            yield Finding(
+                rule="NUM004",
+                severity=NOTE,
+                path=manifest_rel,
+                line=0,
+                message=(
+                    "version bump plus kernel changes detected "
+                    f"({', '.join(changed)}); refresh the manifest "
+                    "with `python -m repro lint --fix-baseline` before "
+                    "merging"
+                ),
+            )

@@ -1,0 +1,632 @@
+"""The codebase-specific rule set (UNI/OBS/API/DEF/EXC families).
+
+Each rule is a small, self-contained ``ast`` check with a stable id
+(used by ``# repro-lint: disable=ID`` suppressions and the baseline),
+a severity and a one-line summary; :func:`all_rules` is the registry
+the engine and the docs-page drift guard both read.  The numerics
+fingerprint guard (NUM001-NUM004) lives in
+:mod:`repro.lint.fingerprint` and is included in the registry here.
+
+Rule catalogue (see ``docs/static-analysis.md`` for the long form):
+
+- UNI001: bare power-of-ten SI literal passed as a physical keyword
+  argument -- use :mod:`repro.units` constants.
+- UNI002: ``+``/``-`` mixing operands whose declared physical
+  dimensions disagree (from :mod:`repro.units` constant usage or
+  docstring-declared parameter units).
+- OBS001: ungated ``obs.*`` call inside a loop of a hot-path module
+  (the ``NOOP_SPAN``/``_state`` <= 2%-overhead contract).
+- OBS002: ``time.time()`` used where a duration may be computed --
+  durations must come from ``time.perf_counter()``.
+- API001: ``__all__`` drift -- missing ``__all__``, entries naming
+  nothing, public definitions not exported, package ``__init__``
+  re-imports not re-exported.
+- API002: public module-level function/class without a docstring.
+- DEF001: mutable default argument.
+- EXC001: bare ``except`` or an except block that silently ``pass``es.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ERROR, WARNING, Rule, SourceFile
+from repro.lint.fingerprint import FingerprintGuard
+
+__all__ = [
+    "UnitLiteralRule",
+    "UnitMismatchRule",
+    "ObsInLoopRule",
+    "WallClockRule",
+    "AllDriftRule",
+    "PublicDocstringRule",
+    "MutableDefaultRule",
+    "SilentExceptRule",
+    "all_rules",
+    "rule_catalogue",
+]
+
+_SI_LITERAL_RE = re.compile(r"^\d+(?:\.\d+)?[eE]-(\d+)$")
+
+
+def _matches(relpath: str, patterns: tuple) -> bool:
+    return any(fnmatch.fnmatch(relpath, pat) for pat in patterns)
+
+
+class UnitLiteralRule(Rule):
+    """UNI001: magic SI literals in physical keyword arguments."""
+
+    id = "UNI001"
+    severity = WARNING
+    summary = (
+        "bare power-of-ten SI literal passed as a physical keyword "
+        "argument; use repro.units constants (e.g. ct=1 * PF)"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Flag ``kwarg=1e-12``-style literals on SI parameters."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg not in config.si_call_kwargs:
+                    continue
+                value = keyword.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, float)
+                ):
+                    continue
+                segment = ast.get_source_segment(source.text, value) or ""
+                match = _SI_LITERAL_RE.match(segment)
+                if match and int(match.group(1)) >= 3:
+                    yield self.finding(
+                        source,
+                        value,
+                        f"SI literal {segment} passed as "
+                        f"{keyword.arg}=...; use a repro.units constant "
+                        "(e.g. 1 * PF) so the declared unit is visible "
+                        "at the call site",
+                    )
+
+
+_UNIT_WORDS = {
+    "ohm": "resistance",
+    "ohms": "resistance",
+    "farad": "capacitance",
+    "farads": "capacitance",
+    "henry": "inductance",
+    "henries": "inductance",
+    "second": "time",
+    "seconds": "time",
+    "meter": "length",
+    "meters": "length",
+    "volt": "voltage",
+    "volts": "voltage",
+    "watt": "power",
+    "watts": "power",
+    "hertz": "frequency",
+    "hz": "frequency",
+}
+
+_PARAM_LINE_RE = re.compile(r"^\s*`{0,2}(\w+)`{0,2}\s*:\s*(.*)$")
+_WORD_RE = re.compile(r"[A-Za-z]+")
+
+
+def _docstring_param_dims(docstring: str) -> dict:
+    """``param -> dimension`` from numpy-style docstring lines.
+
+    Recognizes ``name : <type>`` parameter lines whose declaration
+    line or indented description mentions exactly one unit word
+    (``ohms``, ``farads``, ``seconds``, ...).  Ambiguous or unitless
+    parameters are simply absent from the result.
+    """
+    dims: dict[str, str] = {}
+    lines = docstring.splitlines()
+    for i, line in enumerate(lines):
+        match = _PARAM_LINE_RE.match(line)
+        if not match:
+            continue
+        name = match.group(1)
+        indent = len(line) - len(line.lstrip())
+        text = [match.group(2)]
+        for follow in lines[i + 1 :]:
+            if not follow.strip():
+                break
+            if len(follow) - len(follow.lstrip()) <= indent:
+                break
+            text.append(follow)
+        found = {
+            _UNIT_WORDS[word]
+            for chunk in text
+            for word in map(str.lower, _WORD_RE.findall(chunk))
+            if word in _UNIT_WORDS
+        }
+        if len(found) == 1:
+            dims[name] = found.pop()
+    return dims
+
+
+class UnitMismatchRule(Rule):
+    """UNI002: additive arithmetic across disagreeing dimensions."""
+
+    id = "UNI002"
+    severity = ERROR
+    summary = (
+        "addition/subtraction mixes operands whose declared physical "
+        "dimensions disagree"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Walk functions, tracking declared dims of names in scope."""
+        yield from self._walk(source, source.tree, [], config)
+
+    def _walk(self, source, node, scopes, config):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            doc = ast.get_docstring(node) or ""
+            params = {
+                a.arg
+                for a in (
+                    node.args.posonlyargs
+                    + node.args.args
+                    + node.args.kwonlyargs
+                )
+            }
+            declared = {
+                name: dim
+                for name, dim in _docstring_param_dims(doc).items()
+                if name in params
+            }
+            scopes = scopes + [declared]
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.BinOp) and isinstance(
+                child.op, (ast.Add, ast.Sub)
+            ):
+                left = self._dim(child.left, scopes, config)
+                right = self._dim(child.right, scopes, config)
+                if left and right and left != right:
+                    operator = "+" if isinstance(child.op, ast.Add) else "-"
+                    yield self.finding(
+                        source,
+                        child,
+                        f"'{operator}' mixes {left} and {right} "
+                        "operands; strict-SI arithmetic must stay "
+                        "within one dimension",
+                    )
+            yield from self._walk(source, child, scopes, config)
+
+    def _dim(self, node, scopes, config):
+        if isinstance(node, ast.Name):
+            for scope in reversed(scopes):
+                if node.id in scope:
+                    return scope[node.id]
+            return config.unit_dimensions.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return config.unit_dimensions.get(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self._dim(node.operand, scopes, config)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            left = self._dim(node.left, scopes, config)
+            right = self._dim(node.right, scopes, config)
+            if left and right:
+                # A product of two dimensions is a new dimension this
+                # lightweight checker does not model.
+                return None
+            return left or right
+        return None
+
+
+_OBS_CALLS = frozenset({"span", "inc", "observe", "set_gauge"})
+
+
+def _is_obs_call(node) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _OBS_CALLS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "obs"
+    )
+
+
+def _is_enabled_test(node) -> bool:
+    """True for an ``obs.enabled()`` expression."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "enabled"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "obs"
+    )
+
+
+def _is_not_enabled_test(node) -> bool:
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.Not)
+        and _is_enabled_test(node.operand)
+    )
+
+
+def _block_exits(body: list) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Continue, ast.Break, ast.Raise)
+    )
+
+
+class ObsInLoopRule(Rule):
+    """OBS001: ungated per-iteration observability in hot paths."""
+
+    id = "OBS001"
+    severity = WARNING
+    summary = (
+        "obs.* call inside a loop of a hot-path module without an "
+        "obs.enabled() gate (the <= 2%-overhead NOOP_SPAN contract)"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Flag loop-resident obs calls unless an enabled() gate
+        dominates them (``if obs.enabled():`` block, or an
+        ``if not obs.enabled(): return`` early exit)."""
+        if not _matches(source.relpath, config.hot_path_modules):
+            return
+        findings: list = []
+        self._block(source, source.tree.body, 0, False, findings)
+        yield from findings
+
+    def _block(self, source, body, loop_depth, gated, findings):
+        for stmt in body:
+            self._stmt(source, stmt, loop_depth, gated, findings)
+            if (
+                isinstance(stmt, ast.If)
+                and _is_not_enabled_test(stmt.test)
+                and _block_exits(stmt.body)
+                and not stmt.orelse
+            ):
+                # `if not obs.enabled(): return` -- everything after
+                # this statement only runs with instrumentation on.
+                gated = True
+
+    def _stmt(self, source, stmt, loop_depth, gated, findings):
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            self._block(source, stmt.body, 0, False, findings)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            header = stmt.iter if hasattr(stmt, "iter") else stmt.test
+            self._exprs(source, header, loop_depth, gated, findings)
+            self._block(source, stmt.body, loop_depth + 1, gated, findings)
+            self._block(source, stmt.orelse, loop_depth, gated, findings)
+            return
+        if isinstance(stmt, ast.If):
+            self._exprs(source, stmt.test, loop_depth, gated, findings)
+            body_gated = gated or _is_enabled_test(stmt.test)
+            self._block(source, stmt.body, loop_depth, body_gated, findings)
+            self._block(source, stmt.orelse, loop_depth, gated, findings)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._exprs(
+                    source, item.context_expr, loop_depth, gated, findings
+                )
+            self._block(source, stmt.body, loop_depth, gated, findings)
+            return
+        if isinstance(stmt, ast.Try):
+            self._block(source, stmt.body, loop_depth, gated, findings)
+            for handler in stmt.handlers:
+                self._block(
+                    source, handler.body, loop_depth, gated, findings
+                )
+            self._block(source, stmt.orelse, loop_depth, gated, findings)
+            self._block(source, stmt.finalbody, loop_depth, gated, findings)
+            return
+        self._exprs(source, stmt, loop_depth, gated, findings)
+
+    def _exprs(self, source, node, loop_depth, gated, findings):
+        if node is None or loop_depth == 0 or gated:
+            return
+        for sub in ast.walk(node):
+            if _is_obs_call(sub):
+                findings.append(
+                    self.finding(
+                        source,
+                        sub,
+                        f"obs.{sub.func.attr}(...) inside a loop of "
+                        "hot-path module; gate it behind "
+                        "obs.enabled() (or hoist/accumulate outside "
+                        "the loop) to preserve the disabled-path "
+                        "overhead contract",
+                    )
+                )
+
+
+class WallClockRule(Rule):
+    """OBS002: ``time.time()`` where monotonic time is required."""
+
+    id = "OBS002"
+    severity = WARNING
+    summary = (
+        "time.time() call; durations must use time.perf_counter() -- "
+        "suppress inline where a wall-clock timestamp is intended"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Flag every ``time.time()`` call site."""
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "time"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    "time.time() is wall-clock (it can jump under NTP "
+                    "adjustment); compute durations from "
+                    "time.perf_counter() and keep time.time() only "
+                    "for timestamps, with an inline "
+                    "`# repro-lint: disable=OBS002` justification",
+                )
+
+
+def _assigned_names(node) -> list:
+    names: list[str] = []
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        names.append(element.id)
+    elif isinstance(node, ast.AnnAssign) and isinstance(
+        node.target, ast.Name
+    ):
+        names.append(node.target.id)
+    return names
+
+
+class AllDriftRule(Rule):
+    """API001: ``__all__`` vs definitions vs ``__init__`` re-exports."""
+
+    id = "API001"
+    severity = WARNING
+    summary = (
+        "__all__ drift: missing __all__, entries naming nothing, "
+        "unexported public definitions, or __init__ re-imports "
+        "missing from __all__"
+    )
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Check one module's export surface for drift."""
+        tree = source.tree
+        basename = source.relpath.rsplit("/", 1)[-1]
+        is_init = basename == "__init__.py"
+        exempt = (
+            basename.startswith("_") and not is_init
+        ) or source.relpath in config.exempt_missing_all
+
+        all_node = None
+        all_names = None
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                all_node = node
+                try:
+                    all_names = list(ast.literal_eval(node.value))
+                except ValueError:
+                    all_names = None
+
+        if all_node is None:
+            if not exempt:
+                yield self.finding(
+                    source,
+                    1,
+                    "module defines no __all__; every public module "
+                    "must declare its export surface",
+                )
+            return
+        if all_names is None:
+            # Dynamically built __all__: nothing further to check.
+            return
+
+        defined: set[str] = set()
+        imported: dict[str, int] = {}
+        for node in tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                defined.add(node.name)
+            defined.update(_assigned_names(node))
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    defined.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    defined.add(name)
+                    imported[name] = node.lineno
+
+        for name in all_names:
+            if name not in defined:
+                yield self.finding(
+                    source,
+                    all_node,
+                    f"__all__ lists {name!r} but the module defines "
+                    "no such name",
+                )
+
+        for node in tree.body:
+            public = [
+                n
+                for n in _assigned_names(node)
+                if not n.startswith("_") and n != "__all__"
+            ]
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and not node.name.startswith("_"):
+                public.append(node.name)
+            for name in public:
+                if name not in all_names:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"public name {name!r} is defined at module "
+                        "level but missing from __all__",
+                    )
+
+        if is_init:
+            package_dir = source.path.parent
+            for name, lineno in sorted(imported.items()):
+                if name.startswith("_") or name in all_names:
+                    continue
+                if (package_dir / f"{name}.py").is_file() or (
+                    package_dir / name
+                ).is_dir():
+                    continue  # submodule import, not a re-export
+                yield self.finding(
+                    source,
+                    lineno,
+                    f"__init__ re-imports {name!r} but does not list "
+                    "it in __all__ (re-export drift)",
+                )
+
+
+class PublicDocstringRule(Rule):
+    """API002: public top-level callables must carry docstrings."""
+
+    id = "API002"
+    severity = WARNING
+    summary = "public module-level function/class without a docstring"
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Flag undocumented public top-level defs and classes."""
+        for node in source.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and not node.name.startswith("_"):
+                if ast.get_docstring(node) is None:
+                    kind = (
+                        "class"
+                        if isinstance(node, ast.ClassDef)
+                        else "function"
+                    )
+                    yield self.finding(
+                        source,
+                        node,
+                        f"public {kind} {node.name!r} has no docstring "
+                        "(state what it does and the units of its "
+                        "parameters)",
+                    )
+
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set"})
+
+
+class MutableDefaultRule(Rule):
+    """DEF001: mutable default arguments."""
+
+    id = "DEF001"
+    severity = ERROR
+    summary = "mutable default argument (shared across calls)"
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Flag list/dict/set (display or constructor) defaults."""
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CTORS
+                )
+                if mutable:
+                    yield self.finding(
+                        source,
+                        default,
+                        f"function {node.name!r} has a mutable default "
+                        "argument; default to None and construct "
+                        "inside the body",
+                    )
+
+
+class SilentExceptRule(Rule):
+    """EXC001: bare ``except`` and silently swallowed exceptions."""
+
+    id = "EXC001"
+    severity = WARNING
+    summary = "bare except, or an except block that silently passes"
+
+    def check(self, source: SourceFile, config: LintConfig):
+        """Flag handlers that catch everything or do nothing."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    source,
+                    node,
+                    "bare except catches SystemExit/KeyboardInterrupt; "
+                    "name the exception types",
+                )
+                continue
+            body = [
+                stmt
+                for stmt in node.body
+                if not (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+            ]
+            if all(isinstance(stmt, ast.Pass) for stmt in body):
+                yield self.finding(
+                    source,
+                    node,
+                    "except block silently swallows the exception; "
+                    "handle it, log it, or justify with an inline "
+                    "suppression",
+                )
+
+
+def all_rules() -> list:
+    """The full registry: every per-file rule plus the project rules."""
+    return [
+        UnitLiteralRule(),
+        UnitMismatchRule(),
+        ObsInLoopRule(),
+        WallClockRule(),
+        AllDriftRule(),
+        PublicDocstringRule(),
+        MutableDefaultRule(),
+        SilentExceptRule(),
+        FingerprintGuard(),
+    ]
+
+
+def rule_catalogue() -> list:
+    """``(id, severity, summary)`` rows for docs and drift guards."""
+    rows = []
+    for rule in all_rules():
+        rows.append((rule.id, rule.severity, rule.summary))
+    return rows

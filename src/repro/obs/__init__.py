@@ -53,9 +53,11 @@ from repro.obs.metrics import (
 from repro.obs.report import (
     METRICS_SCHEMA_VERSION,
     benchmark_payload,
+    elapsed_s,
     metrics_payload,
     render_metrics,
     render_trace,
+    reset_elapsed,
     write_metrics,
 )
 from repro.obs.trace import (
@@ -96,13 +98,16 @@ __all__ = [
     "metrics_payload",
     "benchmark_payload",
     "write_metrics",
+    "elapsed_s",
+    "reset_elapsed",
 ]
 
 
 def reset() -> None:
-    """Clear all recorded telemetry: spans and every metric series."""
+    """Clear all recorded telemetry: spans, metrics, elapsed clock."""
     clear_trace()
     REGISTRY.reset()
+    reset_elapsed()
 
 
 class capture:

@@ -35,10 +35,37 @@ __all__ = [
     "metrics_payload",
     "benchmark_payload",
     "write_metrics",
+    "elapsed_s",
+    "reset_elapsed",
 ]
 
 #: Schema tag stamped into every metrics JSON document.
 METRICS_SCHEMA_VERSION = 1
+
+#: Monotonic anchor of the ``elapsed_s`` payload field (mutable cell
+#: so :func:`reset_elapsed` can restart the clock).
+_ELAPSED_ANCHOR = [time.perf_counter()]
+
+
+def reset_elapsed() -> None:
+    """Restart the monotonic collection clock.
+
+    Called by :func:`repro.obs.reset` so ``elapsed_s`` measures the
+    current collection window, not process lifetime.
+    """
+    _ELAPSED_ANCHOR[0] = time.perf_counter()
+
+
+def elapsed_s() -> float:
+    """Monotonic seconds since import or the last ``obs.reset()``.
+
+    This -- not the wall-clock ``unix_time`` stamp -- is the value to
+    read wherever elapsed time is reported: ``time.perf_counter`` is
+    immune to NTP steps and DST, while ``time.time`` is only suitable
+    for labeling *when* a document was produced (OBS002 codifies the
+    distinction).
+    """
+    return time.perf_counter() - _ELAPSED_ANCHOR[0]
 
 
 def _format_duration(ns: int) -> str:
@@ -146,7 +173,10 @@ def metrics_payload(
     payload = {
         "schema": METRICS_SCHEMA_VERSION,
         "generated_by": "repro.obs",
-        "unix_time": time.time(),
+        # Wall-clock stamp labels *when* the document was produced;
+        # every duration in the payload is monotonic.
+        "unix_time": time.time(),  # repro-lint: disable=OBS002
+        "elapsed_s": elapsed_s(),
         "metrics": registry.snapshot(),
         "benchmarks": benchmark_payload(registry)["benchmarks"],
     }

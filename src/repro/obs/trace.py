@@ -30,6 +30,7 @@ from repro.obs._state import _STATE
 
 __all__ = [
     "Span",
+    "NOOP_SPAN",
     "span",
     "current_span",
     "trace_roots",

@@ -278,13 +278,16 @@ def ac_sweep_batch(
         states = np.empty((n_points, omegas.size, rec_rows.size), dtype=complex)
 
         # Points with identical revalued data share their whole sweep.
+        # Reuse is tallied locally and reported once after the loop so
+        # the per-point path stays free of instrumentation (OBS001).
         seen: dict[bytes, int] = {}
+        shared_reuse = 0
         for j in range(n_points):
             key = g_data[j].tobytes() + c_data[j].tobytes()
             first = seen.setdefault(key, j)
             if first != j:
                 states[j] = states[first]
-                obs.inc("spice.ac.shared_sweep_reuse")
+                shared_reuse += 1
                 continue
             g_j = g_data[j].astype(complex)
             c_j = c_data[j]
@@ -297,6 +300,8 @@ def ac_sweep_batch(
                         f"singular AC system at omega = {w:g} (batch point {j})"
                     ) from exc
                 states[j, k] = x[rec_rows]
+        if shared_reuse:
+            obs.inc("spice.ac.shared_sweep_reuse", shared_reuse)
         return AcBatchResult(
             omegas=omegas,
             states=states,

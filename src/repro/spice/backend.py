@@ -67,7 +67,10 @@ from repro import obs
 from repro.errors import ParameterError, SimulationError
 
 __all__ = [
+    "DENSE_SIZE_CUTOFF",
     "CooMatrix",
+    "combine",
+    "BandProfile",
     "LinearFactorization",
     "PatternFactorizer",
     "SimulationBackend",

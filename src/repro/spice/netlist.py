@@ -55,6 +55,10 @@ __all__ = [
     "CurrentControlledVoltageSource",
     "CurrentControlledCurrentSource",
     "Circuit",
+    "canonical_node",
+    "is_parametric",
+    "value_param_names",
+    "resolve_value",
 ]
 
 GROUND = "0"

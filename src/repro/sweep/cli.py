@@ -33,7 +33,7 @@ from repro.errors import ReproError
 from repro.sweep.grid import Axis, ParameterGrid, Sweep
 from repro.sweep.runner import QUANTITIES, SweepRunner
 
-__all__ = ["add_sweep_arguments", "run_sweep"]
+__all__ = ["add_sweep_arguments", "build_sweep", "run_sweep"]
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:

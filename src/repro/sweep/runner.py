@@ -55,6 +55,8 @@ from repro.sweep import kernels
 from repro.sweep.grid import ParameterGrid, Sweep
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "MAX_CHUNK_POINTS",
     "Quantity",
     "QUANTITIES",
     "RunnerStats",
@@ -836,11 +838,14 @@ class SweepRunner:
                 )
                 with pool_cls(max_workers=min(workers, len(payloads))) as pool:
                     timed = list(pool.map(_simulate_chunk_timed, payloads))
-            for chunk, seconds in timed:
-                obs.observe("sweep.chunk_seconds", seconds)
-                obs.observe(
-                    "sweep.chunk_points", len(chunk), buckets=obs.COUNT_BUCKETS
-                )
+            if obs.enabled():
+                for chunk, seconds in timed:
+                    obs.observe("sweep.chunk_seconds", seconds)
+                    obs.observe(
+                        "sweep.chunk_points",
+                        len(chunk),
+                        buckets=obs.COUNT_BUCKETS,
+                    )
             return np.asarray(
                 [value for chunk, _ in timed for value in chunk], dtype=float
             )

@@ -42,6 +42,7 @@ __all__ = [
     "shunt_admittance",
     "series_resistor",
     "series_inductor",
+    "ImmittanceLike",
     "shunt_capacitor",
     "rlc_line",
     "cosh_theta",

@@ -45,6 +45,7 @@ __all__ = [
     "InversionMethod",
     "talbot",
     "euler",
+    "TransformFunction",
     "dehoog",
     "invert_laplace",
     "step_response",

@@ -19,6 +19,28 @@ from __future__ import annotations
 
 import math
 
+__all__ = [
+    # base multipliers
+    "ATTO", "FEMTO", "PICO", "NANO", "MICRO", "MILLI", "UNIT",
+    "KILO", "MEGA", "GIGA", "TERA",
+    # resistance
+    "OHM", "MILLIOHM", "KILOOHM", "MEGAOHM",
+    # capacitance
+    "FARAD", "AF", "FF", "PF", "NF", "UF",
+    # inductance
+    "HENRY", "FH", "PH", "NH", "UH",
+    # time
+    "SECOND", "FS", "PS", "NS", "US", "MS",
+    # length
+    "METER", "NM", "UM", "MM", "CM",
+    # frequency
+    "HZ", "KHZ", "MHZ", "GHZ",
+    # voltage / power
+    "VOLT", "MV", "WATT", "MW", "UW",
+    # helpers
+    "si_scale", "format_si", "format_percent",
+]
+
 # --- base multipliers --------------------------------------------------------
 
 ATTO = 1e-18

@@ -1,0 +1,635 @@
+"""Tests for :mod:`repro.lint` -- rules, engine, fingerprint, CLI.
+
+The per-rule tests run the engine over small synthetic packages in a
+temp directory (the rules never import the code they check, so a
+two-file fixture tree is a complete test bed).  The repository-level
+tests at the bottom assert the acceptance criteria directly: the real
+``src/repro`` lints clean, and mutating a numeric kernel without a
+version bump trips the fingerprint guard.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import textwrap
+
+import pytest
+
+import repro.units
+from repro.__main__ import main as repro_main
+from repro.lint import (
+    DEFAULT_CONFIG,
+    UNIT_DIMENSIONS,
+    LintConfig,
+    default_package_root,
+    normalized_fingerprint,
+    run_lint,
+)
+from repro.lint.engine import ERROR, META_RULE_ID, NOTE, WARNING
+
+#: Minimal config for synthetic fixture packages.
+MINI = LintConfig(
+    kernel_modules=("kern.py", "tline_*.py"),
+    version_sources=(
+        ("simulator_version", "version.py", "SIMULATOR_VERSION"),
+    ),
+    cache_consumers=frozenset(),
+    hot_path_modules=("hot.py",),
+    manifest_relpath="manifest.json",
+    baseline_relpath="baseline.json",
+)
+
+VERSION_MODULE = '"""Version sentinel."""\n\nSIMULATOR_VERSION = 1\n'
+
+KERNEL_MODULE = '''\
+"""A kernel."""
+
+__all__ = ["delay"]
+
+
+def delay(x):
+    """Delay in seconds."""
+    return 1.48 * x + 2.9
+'''
+
+
+def write_tree(root: pathlib.Path, files: dict) -> pathlib.Path:
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return root
+
+
+def lint(tmp_path, files, config=MINI, **kwargs):
+    return run_lint(root=write_tree(tmp_path, files), config=config, **kwargs)
+
+
+def with_rule(result, rule_id, include_baselined=False):
+    return [
+        f
+        for f in result.findings
+        if f.rule == rule_id and (include_baselined or not f.baselined)
+    ]
+
+
+class TestUnitLiteralRule:
+    def test_flags_si_literal_keyword(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "f(ct=1e-12)\n"})
+        (finding,) = with_rule(result, "UNI001")
+        assert "1e-12" in finding.message
+        assert finding.severity == WARNING
+
+    def test_flags_mantissa_literal(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "f(cl=5e-13)\n"})
+        assert len(with_rule(result, "UNI001")) == 1
+
+    def test_units_constant_is_clean(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"m.py": "from repro.units import PF\nf(ct=1 * PF)\n"},
+        )
+        assert with_rule(result, "UNI001") == []
+
+    def test_non_si_keyword_is_clean(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "np.allclose(a, b, rtol=1e-12)\n"})
+        assert with_rule(result, "UNI001") == []
+
+    def test_plain_assignment_is_clean(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "ct = 1e-12\n"})
+        assert with_rule(result, "UNI001") == []
+
+    def test_small_exponent_is_clean(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "f(ct=0.5)\n"})
+        assert with_rule(result, "UNI001") == []
+
+
+class TestUnitMismatchRule:
+    def test_flags_units_constant_mix(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "y = 1 * PF + 2 * OHM\n"})
+        (finding,) = with_rule(result, "UNI002")
+        assert "capacitance" in finding.message
+        assert "resistance" in finding.message
+        assert finding.severity == ERROR
+
+    def test_same_dimension_is_clean(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "y = 1 * PF + 2 * FF\n"})
+        assert with_rule(result, "UNI002") == []
+
+    def test_attribute_form_is_flagged(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "y = units.NS - 3 * units.OHM\n"})
+        assert len(with_rule(result, "UNI002")) == 1
+
+    def test_docstring_declared_units_disagree(self, tmp_path):
+        source = '''\
+        def f(rt, ct):
+            """Mix dimensions.
+
+            Parameters
+            ----------
+            rt : float
+                Driver resistance, ohms.
+            ct : float
+                Load capacitance, farads.
+            """
+            return rt + ct
+        '''
+        result = lint(tmp_path, {"m.py": source})
+        assert len(with_rule(result, "UNI002")) == 1
+
+    def test_docstring_declared_units_agree(self, tmp_path):
+        source = '''\
+        def f(t_rise, t_fall):
+            """Sum times.
+
+            Parameters
+            ----------
+            t_rise : float
+                Rise time, seconds.
+            t_fall : float
+                Fall time, seconds.
+            """
+            return t_rise + t_fall
+        '''
+        result = lint(tmp_path, {"m.py": source})
+        assert with_rule(result, "UNI002") == []
+
+    def test_undeclared_names_are_clean(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "def f(a, b):\n    return a + b\n"})
+        assert with_rule(result, "UNI002") == []
+
+
+OBS_LOOP = """\
+for i in range(n):
+    obs.inc("x.events")
+"""
+
+OBS_GATED = """\
+if obs.enabled():
+    for i in range(n):
+        obs.inc("x.events")
+"""
+
+OBS_EARLY_RETURN = '''\
+def publish(n):
+    """Gated publisher."""
+    if not obs.enabled():
+        return
+    for i in range(n):
+        obs.inc("x.events")
+'''
+
+
+class TestObsInLoopRule:
+    def test_flags_ungated_call_in_hot_loop(self, tmp_path):
+        result = lint(tmp_path, {"hot.py": OBS_LOOP})
+        (finding,) = with_rule(result, "OBS001")
+        assert "obs.inc" in finding.message
+
+    def test_enabled_gate_is_clean(self, tmp_path):
+        result = lint(tmp_path, {"hot.py": OBS_GATED})
+        assert with_rule(result, "OBS001") == []
+
+    def test_early_return_gate_is_clean(self, tmp_path):
+        result = lint(tmp_path, {"hot.py": OBS_EARLY_RETURN})
+        assert with_rule(result, "OBS001") == []
+
+    def test_cold_module_is_exempt(self, tmp_path):
+        result = lint(tmp_path, {"cold.py": OBS_LOOP})
+        assert with_rule(result, "OBS001") == []
+
+    def test_span_context_manager_in_loop(self, tmp_path):
+        source = 'while True:\n    with obs.span("step"):\n        work()\n'
+        result = lint(tmp_path, {"hot.py": source})
+        assert len(with_rule(result, "OBS001")) == 1
+
+    def test_call_outside_loop_is_clean(self, tmp_path):
+        source = 'obs.inc("x.runs")\nfor i in range(n):\n    work()\n'
+        result = lint(tmp_path, {"hot.py": source})
+        assert with_rule(result, "OBS001") == []
+
+
+class TestWallClockRule:
+    def test_flags_time_time(self, tmp_path):
+        result = lint(
+            tmp_path, {"m.py": "import time\nstart = time.time()\n"}
+        )
+        (finding,) = with_rule(result, "OBS002")
+        assert "perf_counter" in finding.message
+
+    def test_perf_counter_is_clean(self, tmp_path):
+        result = lint(
+            tmp_path, {"m.py": "import time\nstart = time.perf_counter()\n"}
+        )
+        assert with_rule(result, "OBS002") == []
+
+    def test_inline_suppression(self, tmp_path):
+        source = (
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=OBS002\n"
+        )
+        result = lint(tmp_path, {"m.py": source})
+        assert with_rule(result, "OBS002") == []
+        assert result.suppressed_count == 1
+
+
+class TestAllDriftRule:
+    def test_missing_all(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "def f():\n    return 1\n"})
+        assert any(
+            "no __all__" in f.message for f in with_rule(result, "API001")
+        )
+
+    def test_private_module_exempt_from_missing_all(self, tmp_path):
+        result = lint(tmp_path, {"_m.py": "def f():\n    return 1\n"})
+        assert with_rule(result, "API001") == []
+
+    def test_all_entry_naming_nothing(self, tmp_path):
+        result = lint(tmp_path, {"m.py": '__all__ = ["ghost"]\n'})
+        assert any(
+            "'ghost'" in f.message for f in with_rule(result, "API001")
+        )
+
+    def test_unexported_public_def(self, tmp_path):
+        source = '__all__ = ["f"]\n\ndef f():\n    "F."\n\ndef g():\n    "G."\n'
+        result = lint(tmp_path, {"m.py": source})
+        assert any(
+            "'g'" in f.message for f in with_rule(result, "API001")
+        )
+
+    def test_init_reexport_drift(self, tmp_path):
+        files = {
+            "pkg/__init__.py": '__all__ = []\nfrom pkg.mod import thing\n',
+            "pkg/mod.py": '__all__ = ["thing"]\nthing = 1\n',
+        }
+        result = lint(tmp_path, files)
+        assert any(
+            "re-export" in f.message for f in with_rule(result, "API001")
+        )
+
+    def test_init_submodule_import_exempt(self, tmp_path):
+        files = {
+            "pkg/__init__.py": '__all__ = []\nfrom pkg import mod\n',
+            "pkg/mod.py": "__all__ = []\n",
+        }
+        result = lint(tmp_path, files)
+        assert with_rule(result, "API001") == []
+
+
+class TestPublicDocstringRule:
+    def test_flags_undocumented_public_function(self, tmp_path):
+        result = lint(
+            tmp_path, {"m.py": '__all__ = ["f"]\n\ndef f():\n    return 1\n'}
+        )
+        assert len(with_rule(result, "API002")) == 1
+
+    def test_private_function_exempt(self, tmp_path):
+        result = lint(
+            tmp_path, {"m.py": "__all__ = []\n\ndef _f():\n    return 1\n"}
+        )
+        assert with_rule(result, "API002") == []
+
+
+class TestMutableDefaultRule:
+    def test_flags_list_default(self, tmp_path):
+        source = '__all__ = ["f"]\n\ndef f(xs=[]):\n    "F."\n    return xs\n'
+        result = lint(tmp_path, {"m.py": source})
+        (finding,) = with_rule(result, "DEF001")
+        assert finding.severity == ERROR
+
+    def test_flags_dict_constructor_default(self, tmp_path):
+        source = (
+            '__all__ = ["f"]\n\ndef f(m=dict()):\n    "F."\n    return m\n'
+        )
+        result = lint(tmp_path, {"m.py": source})
+        assert len(with_rule(result, "DEF001")) == 1
+
+    def test_none_default_is_clean(self, tmp_path):
+        source = '__all__ = ["f"]\n\ndef f(xs=None):\n    "F."\n    return xs\n'
+        result = lint(tmp_path, {"m.py": source})
+        assert with_rule(result, "DEF001") == []
+
+
+class TestSilentExceptRule:
+    def test_flags_bare_except(self, tmp_path):
+        source = "try:\n    work()\nexcept:\n    handle()\n"
+        result = lint(tmp_path, {"m.py": source})
+        assert any(
+            "bare except" in f.message for f in with_rule(result, "EXC001")
+        )
+
+    def test_flags_silent_pass(self, tmp_path):
+        source = "try:\n    work()\nexcept ValueError:\n    pass\n"
+        result = lint(tmp_path, {"m.py": source})
+        assert any(
+            "swallows" in f.message for f in with_rule(result, "EXC001")
+        )
+
+    def test_handled_exception_is_clean(self, tmp_path):
+        source = "try:\n    work()\nexcept ValueError as exc:\n    log(exc)\n"
+        result = lint(tmp_path, {"m.py": source})
+        assert with_rule(result, "EXC001") == []
+
+
+class TestSuppressions:
+    def test_line_suppression_multiple_ids(self, tmp_path):
+        source = (
+            "f(ct=1e-12)  # repro-lint: disable=UNI001,UNI002\n"
+        )
+        result = lint(tmp_path, {"m.py": source})
+        assert with_rule(result, "UNI001") == []
+        assert result.suppressed_count == 1
+
+    def test_file_suppression(self, tmp_path):
+        source = (
+            "# repro-lint: disable-file=UNI001\n"
+            "f(ct=1e-12)\ng(ct=2e-12)\n"
+        )
+        result = lint(tmp_path, {"m.py": source})
+        assert with_rule(result, "UNI001") == []
+        assert result.suppressed_count == 2
+
+    def test_suppression_is_line_scoped(self, tmp_path):
+        source = (
+            "f(ct=1e-12)  # repro-lint: disable=UNI001\n"
+            "g(ct=2e-12)\n"
+        )
+        result = lint(tmp_path, {"m.py": source})
+        assert len(with_rule(result, "UNI001")) == 1
+
+    def test_unknown_rule_id_is_noted(self, tmp_path):
+        source = "x = 1  # repro-lint: disable=NOPE999\n"
+        result = lint(tmp_path, {"m.py": source})
+        notes = with_rule(result, META_RULE_ID)
+        assert any("NOPE999" in f.message for f in notes)
+        assert all(f.severity == NOTE for f in notes)
+
+
+class TestBaseline:
+    def test_fix_baseline_grandfathers_findings(self, tmp_path):
+        files = {"m.py": "f(ct=1e-12)\n"}
+        fixed = lint(tmp_path, files, fix_baseline=True)
+        assert fixed.exit_code == 0
+        entries = json.loads((tmp_path / "baseline.json").read_text())
+        assert any(e["rule"] == "UNI001" for e in entries["findings"])
+
+        replay = run_lint(root=tmp_path, config=MINI)
+        assert replay.exit_code == 0
+        (finding,) = with_rule(replay, "UNI001", include_baselined=True)
+        assert finding.baselined
+
+    def test_stale_baseline_entry_is_noted(self, tmp_path):
+        files = {"m.py": "f(ct=1e-12)\n"}
+        lint(tmp_path, files, fix_baseline=True)
+        (tmp_path / "m.py").write_text("f(ct=1 * PF)\n")
+        result = run_lint(root=tmp_path, config=MINI)
+        assert result.exit_code == 0
+        assert any(
+            "stale baseline" in f.message
+            for f in with_rule(result, META_RULE_ID)
+        )
+
+    def test_unbaselined_finding_fails(self, tmp_path):
+        files = {"m.py": "f(ct=1e-12)\n"}
+        lint(tmp_path, files, fix_baseline=True)
+        (tmp_path / "m.py").write_text("f(ct=1e-12)\nf(cl=3e-13)\n")
+        result = run_lint(root=tmp_path, config=MINI)
+        assert result.exit_code == 1
+        assert len(with_rule(result, "UNI001")) == 1  # only the new one
+
+
+class TestFingerprintGuard:
+    @pytest.fixture
+    def package(self, tmp_path):
+        write_tree(
+            tmp_path, {"kern.py": KERNEL_MODULE, "version.py": VERSION_MODULE}
+        )
+        result = run_lint(root=tmp_path, config=MINI, fix_baseline=True)
+        assert result.exit_code == 0
+        return tmp_path
+
+    def test_missing_manifest_is_an_error(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"kern.py": KERNEL_MODULE, "version.py": VERSION_MODULE},
+        )
+        assert any(
+            "manifest is missing" in f.message
+            for f in with_rule(result, "NUM003")
+        )
+        assert result.exit_code == 1
+
+    def test_clean_after_fix_baseline(self, package):
+        result = run_lint(root=package, config=MINI)
+        assert result.exit_code == 0
+
+    def test_body_edit_without_bump_fails(self, package):
+        kern = package / "kern.py"
+        kern.write_text(kern.read_text().replace("1.48", "1.50"))
+        result = run_lint(root=package, config=MINI)
+        (finding,) = with_rule(result, "NUM001")
+        assert "SIMULATOR_VERSION" in finding.message
+        assert "cache" in finding.message
+        assert result.exit_code == 1
+
+    def test_docstring_only_edit_is_clean(self, package):
+        kern = package / "kern.py"
+        kern.write_text(
+            kern.read_text().replace("Delay in seconds.", "Better doc.")
+        )
+        assert run_lint(root=package, config=MINI).exit_code == 0
+
+    def test_comment_and_formatting_edit_is_clean(self, package):
+        kern = package / "kern.py"
+        kern.write_text(kern.read_text() + "\n# a trailing comment\n")
+        assert run_lint(root=package, config=MINI).exit_code == 0
+
+    def test_bump_with_body_edit_is_clean_pending_refresh(self, package):
+        (package / "kern.py").write_text(
+            (package / "kern.py").read_text().replace("1.48", "1.50")
+        )
+        (package / "version.py").write_text(
+            VERSION_MODULE.replace("= 1", "= 2")
+        )
+        result = run_lint(root=package, config=MINI)
+        assert result.exit_code == 0
+        assert any(
+            "--fix-baseline" in f.message for f in with_rule(result, "NUM004")
+        )
+
+        refreshed = run_lint(root=package, config=MINI, fix_baseline=True)
+        assert refreshed.exit_code == 0
+        assert with_rule(refreshed, "NUM004") == []
+
+    def test_bump_without_change_fails(self, package):
+        (package / "version.py").write_text(
+            VERSION_MODULE.replace("= 1", "= 2")
+        )
+        result = run_lint(root=package, config=MINI)
+        assert len(with_rule(result, "NUM002")) == 1
+        assert result.exit_code == 1
+
+    def test_new_glob_matched_kernel_must_be_fingerprinted(self, package):
+        write_tree(package, {"tline_new.py": KERNEL_MODULE})
+        result = run_lint(root=package, config=MINI)
+        assert any(
+            "tline_new.py" in f.message for f in with_rule(result, "NUM003")
+        )
+        assert run_lint(
+            root=package, config=MINI, fix_baseline=True
+        ).exit_code == 0
+
+
+class TestNormalizedFingerprint:
+    def test_stable_under_doc_and_format_edits(self):
+        a = "def f(x):\n    '''Doc.'''\n    return x + 1\n"
+        b = "# comment\ndef f(x):\n    '''Other doc.'''\n    return x + 1\n"
+        assert normalized_fingerprint(a) == normalized_fingerprint(b)
+
+    def test_stable_under_all_and_version_edits(self):
+        a = "__all__ = ['f']\nSIMULATOR_VERSION = 1\nx = 2\n"
+        b = "__all__ = ['f', 'g']\nSIMULATOR_VERSION = 7\nx = 2\n"
+        assert normalized_fingerprint(a) == normalized_fingerprint(b)
+
+    def test_changed_by_expression_edit(self):
+        a = "def f(x):\n    return x + 1\n"
+        b = "def f(x):\n    return x + 2\n"
+        assert normalized_fingerprint(a) != normalized_fingerprint(b)
+
+
+class TestJsonOutput:
+    def test_schema(self, tmp_path):
+        result = lint(tmp_path, {"m.py": "f(ct=1e-12)\n"})
+        doc = json.loads(json.dumps(result.as_dict()))
+        assert doc["schema"] == 1
+        assert doc["generated_by"] == "repro.lint"
+        assert doc["clean"] is False
+        for key in ("error", "warning", "note", "baselined", "suppressed"):
+            assert key in doc["counts"]
+        entry = [f for f in doc["findings"] if f["rule"] == "UNI001"][0]
+        assert set(entry) == {
+            "rule", "severity", "path", "line", "message", "baselined",
+        }
+
+
+class TestRepositoryIsClean:
+    """The acceptance criteria, asserted against the real tree."""
+
+    def test_repo_lints_clean(self):
+        result = run_lint()
+        assert result.exit_code == 0, result.render_text()
+
+    def test_cli_json_on_repo(self, capsys):
+        code = repro_main(["lint", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["clean"] is True
+
+    def test_cli_text_on_repo(self, capsys):
+        code = repro_main(["lint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean" in out
+
+    def test_kernel_mutation_trips_guard(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(default_package_root(), copy)
+        delay = copy / "core" / "delay.py"
+        delay.write_text(delay.read_text().replace("1.48", "1.50"))
+        result = run_lint(root=copy)
+        assert result.exit_code == 1
+        findings = with_rule(result, "NUM001")
+        assert any("core/delay.py" in f.message for f in findings)
+
+
+class TestManifestDriftGuard:
+    """New kernels and new cache consumers cannot escape the guard."""
+
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        root = default_package_root()
+        path = root / DEFAULT_CONFIG.manifest_relpath
+        return json.loads(path.read_text())
+
+    def test_every_manifest_module_exists(self, manifest):
+        root = default_package_root()
+        for relpath in manifest["fingerprints"]:
+            assert (root / relpath).is_file(), relpath
+
+    def test_manifest_matches_configured_kernels(self, manifest):
+        from repro.lint.engine import Project
+
+        project = Project(default_package_root(), DEFAULT_CONFIG)
+        assert set(manifest["fingerprints"]) == set(
+            project.glob(DEFAULT_CONFIG.kernel_modules)
+        )
+
+    def test_version_importers_are_covered(self, manifest):
+        """Any module touching the version sentinels is either
+        fingerprinted or an allowed cache consumer."""
+        import ast
+
+        root = default_package_root()
+        sentinels = {v for _, _, v in DEFAULT_CONFIG.version_sources}
+        defining = {p for _, p, _ in DEFAULT_CONFIG.version_sources}
+        allowed = (
+            set(manifest["fingerprints"])
+            | set(DEFAULT_CONFIG.cache_consumers)
+            | defining
+        )
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("lint/"):
+                continue  # the checker itself names the sentinels
+            tree = ast.parse(path.read_text())
+            uses = any(
+                isinstance(node, ast.ImportFrom)
+                and any((a.asname or a.name) in sentinels for a in node.names)
+                for node in ast.walk(tree)
+            )
+            if uses:
+                assert rel in allowed, (
+                    f"{rel} imports a cache-key version sentinel but is "
+                    "neither fingerprinted nor a declared cache consumer"
+                )
+
+    def test_versions_in_manifest_match_source(self, manifest):
+        from repro.core.simulate import SIMULATOR_VERSION
+        from repro.sweep.kernels import KERNEL_VERSION
+
+        assert manifest["versions"] == {
+            "simulator_version": SIMULATOR_VERSION,
+            "kernel_version": KERNEL_VERSION,
+        }
+
+
+class TestUnitDimensionTable:
+    def test_every_mapped_name_exists_in_units(self):
+        for name in UNIT_DIMENSIONS:
+            assert hasattr(repro.units, name), name
+
+    def test_every_dimensioned_constant_is_mapped(self):
+        multipliers = {
+            "ATTO", "FEMTO", "PICO", "NANO", "MICRO", "MILLI", "UNIT",
+            "KILO", "MEGA", "GIGA", "TERA",
+        }
+        for name in repro.units.__all__:
+            if name.isupper() and name not in multipliers:
+                assert name in UNIT_DIMENSIONS, name
+
+
+class TestDocsCatalogue:
+    def test_docs_page_mentions_every_rule(self):
+        from repro.lint import rule_catalogue
+
+        page = (
+            pathlib.Path(__file__).parent.parent
+            / "docs"
+            / "static-analysis.md"
+        ).read_text()
+        for rule_id, _, _ in rule_catalogue():
+            assert rule_id in page, f"docs/static-analysis.md misses {rule_id}"
+        for extra in ("NUM002", "NUM003", "NUM004", "LNT001", "LNT002"):
+            assert extra in page
