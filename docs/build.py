@@ -48,6 +48,7 @@ PAGES = (
     "equations.md",
     "instrumentation.md",
     "static-analysis.md",
+    "netlist.md",
 )
 
 STYLE = """
@@ -98,6 +99,7 @@ class Builder:
                 ("paper equations", "equations.html"),
                 ("instrumentation", "instrumentation.html"),
                 ("static analysis", "static-analysis.html"),
+                ("netlists", "netlist.html"),
                 ("API reference", "api/index.html"),
             )
         )

@@ -5,9 +5,11 @@ Usage::
     python -m repro list                # show the experiment registry
     python -m repro run EXP-E18         # regenerate one table/figure
     python -m repro run all             # regenerate everything (slow)
+    python -m repro run --netlist f.cir # parse + simulate a netlist file
     python -m repro sweep --list        # show the batch quantities
     python -m repro sweep propagation_delay --axis rt=log:100:5000:7 \\
         --fixed lt=1e-8 --fixed ct=1e-12
+    python -m repro sweep --netlist f.cir --axis rt=log:10:1000:7
     python -m repro lint                # static analysis of src/repro
     python -m repro lint --fix-baseline # refresh manifest + baseline
 """
@@ -18,6 +20,7 @@ import argparse
 import sys
 
 from repro import obs
+from repro.errors import ReproError
 from repro.experiments import REGISTRY, render_table
 from repro.experiments.common import metrics_footer
 from repro.lint.cli import add_lint_arguments, run_lint_command
@@ -30,6 +33,75 @@ def _cmd_list() -> int:
         doc = (module.__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"{exp_id:<{width}}  {summary}")
+    return 0
+
+
+def _parse_param_override(text: str) -> tuple[str, float]:
+    name, sep, value = text.partition("=")
+    if not sep or not name or not value:
+        raise ReproError(f"bad --param {text!r}; expected NAME=VALUE")
+    try:
+        return name, float(value)
+    except ValueError as exc:
+        raise ReproError(f"bad --param {text!r}: {exc}") from exc
+
+
+def _cmd_run_netlist(args: argparse.Namespace) -> int:
+    """Parse a netlist file, simulate it, report per-node metrics."""
+    from repro.spice.parser import parse_netlist_file, suggest_transient_window
+    from repro.spice.transient import simulate_transient
+    from repro.units import format_si
+
+    if args.metrics:
+        obs.enable()
+    try:
+        parsed = parse_netlist_file(args.netlist)
+        overrides = dict(
+            _parse_param_override(text) for text in args.param
+        )
+        circuit = parsed.bind(overrides or None)
+        nodes = circuit.node_names()
+        node = args.node or nodes[-1]
+        if node not in nodes:
+            raise ReproError(
+                f"node {node!r} not in netlist; nodes: {', '.join(nodes)}"
+            )
+        t_stop, dt = suggest_transient_window(circuit)
+        if args.t_stop is not None:
+            t_stop = args.t_stop
+        if args.dt is not None:
+            dt = args.dt
+        result = simulate_transient(
+            circuit, t_stop, dt, backend=args.backend or "auto"
+        )
+        wave = result.voltage(node)
+    except ReproError as exc:
+        print(f"netlist run failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"netlist: {args.netlist} (title: {circuit.title})")
+    bound = (
+        ", ".join(f"{k}={v:g}" for k, v in sorted(overrides.items()))
+        if overrides
+        else "defaults"
+    )
+    print(
+        f"elements: {len(circuit)}, nodes: {len(nodes)}, "
+        f"params: {bound}"
+    )
+    print(
+        f"window: t_stop={format_si(t_stop, 's')}, "
+        f"dt={format_si(dt, 's')}"
+    )
+    try:
+        delay = format_si(wave.delay_50(), "s")
+    except ReproError:
+        delay = "n/a (no 50% crossing)"
+    print(
+        f"v({node}): final={wave.final_value:.6g} V, delay_50={delay}"
+    )
+    if args.metrics:
+        print()
+        print(metrics_footer())
     return 0
 
 
@@ -66,12 +138,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiment registry")
-    run_parser = sub.add_parser("run", help="regenerate one experiment (or 'all')")
-    run_parser.add_argument("experiment", help="experiment id, e.g. EXP-T1")
+    run_parser = sub.add_parser(
+        "run",
+        help="regenerate one experiment (or 'all'), or simulate a netlist",
+    )
+    run_parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id, e.g. EXP-T1 (omit with --netlist)",
+    )
     run_parser.add_argument(
         "--metrics",
         action="store_true",
         help="enable instrumentation and print a telemetry footer",
+    )
+    run_parser.add_argument(
+        "--netlist",
+        metavar="FILE",
+        help="parse and simulate a SPICE-like netlist file instead of "
+        "a registry experiment",
+    )
+    run_parser.add_argument(
+        "--node",
+        help="node to report (default: last node in the netlist)",
+    )
+    run_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a netlist {...} parameter (repeatable)",
+    )
+    run_parser.add_argument(
+        "--t-stop",
+        type=float,
+        help="transient end time in seconds (default: auto from RC/LC)",
+    )
+    run_parser.add_argument(
+        "--dt",
+        type=float,
+        help="transient time step in seconds (default: t_stop/2000)",
+    )
+    run_parser.add_argument(
+        "--backend",
+        help="MNA linear-solver backend (auto | dense | sparse | banded)",
     )
     sweep_parser = sub.add_parser(
         "sweep",
@@ -95,6 +205,20 @@ def main(argv: list[str] | None = None) -> int:
         return run_sweep(args)
     if args.command == "lint":
         return run_lint_command(args)
+    if args.netlist:
+        if args.experiment:
+            print(
+                "give an experiment id or --netlist, not both",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_run_netlist(args)
+    if not args.experiment:
+        print(
+            "an experiment id (or --netlist FILE) is required",
+            file=sys.stderr,
+        )
+        return 2
     return _cmd_run(args.experiment, metrics=args.metrics)
 
 

@@ -16,6 +16,7 @@ from repro.experiments import (
     eq18,
     fig2,
     fig4,
+    htree_study,
     length_dependence,
     refit,
     scaling,
@@ -40,6 +41,7 @@ REGISTRY = {
     "EXP-X6": crosstalk_study,
     "EXP-X7": shield_study,
     "EXP-X8": bus_repeater_study,
+    "EXP-X9": htree_study,
 }
 
 __all__ = ["REGISTRY", "ExperimentTable", "render_table"]

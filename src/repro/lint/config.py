@@ -102,6 +102,8 @@ class LintConfig:
         "spice/backend.py",
         "spice/statespace.py",
         "spice/ladder.py",
+        "spice/parser.py",
+        "topology/*.py",
         "tline/*.py",
         "analysis/bus.py",
         "sweep/kernels.py",

@@ -29,7 +29,13 @@ paper validates against.  It provides:
 - :mod:`repro.spice.statespace` -- exact matrix-exponential integration of
   LTI state-space models,
 - :mod:`repro.spice.ladder`     -- lumped-segment approximations of the
-  distributed RLC line (the workload of every experiment in the paper).
+  distributed RLC line (the workload of every experiment in the paper),
+- :mod:`repro.spice.parser`     -- SPICE-like text netlist frontend:
+  :func:`~repro.spice.parser.parse_netlist` turns ``.cir`` text (with
+  ``.param`` defaults and ``{expr}`` parameter slots) into the same
+  :class:`~repro.spice.netlist.Circuit` objects the programmatic API
+  builds, and :meth:`~repro.spice.netlist.Circuit.to_netlist` goes the
+  other way.
 
 The distributed line of the paper is simulated here as an ``n``-segment
 ladder; tests drive ``n`` up until the 50% delay converges and compare
@@ -78,6 +84,14 @@ from repro.spice.netlist import (
     Step,
     VoltageSource,
 )
+from repro.spice.parser import (
+    NetlistSyntaxError,
+    ParsedNetlist,
+    parse_netlist,
+    parse_netlist_file,
+    parse_spice_number,
+    suggest_transient_window,
+)
 from repro.spice.transient import (
     TransientBatchResult,
     TransientResult,
@@ -101,6 +115,12 @@ __all__ = [
     "PiecewiseLinear",
     "Param",
     "ParamAffine",
+    "NetlistSyntaxError",
+    "ParsedNetlist",
+    "parse_netlist",
+    "parse_netlist_file",
+    "parse_spice_number",
+    "suggest_transient_window",
     "CircuitTemplate",
     "MnaStructure",
     "MnaSystem",

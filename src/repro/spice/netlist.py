@@ -618,8 +618,27 @@ class Circuit:
 
     # -- construction -------------------------------------------------------
 
-    def add(self, element: Element) -> Element:
-        """Add a prebuilt element; returns it for chaining."""
+    def add(self, element):
+        """Add a prebuilt element -- or parse a netlist statement string.
+
+        Given an :class:`Element`, appends it (names must be unique)
+        and returns it for chaining.  Given a string, parses it as one
+        or more SPICE-style element lines (the incremental, lcapy-style
+        API)::
+
+            ckt.add("R1 in mid 50")
+            ckt.add("V1 in 0 STEP(0 1)")
+
+        and returns the added element (a list when the string holds
+        several statements).  See :mod:`repro.spice.parser` for the
+        grammar; wires (``W``/zero-ohm shorts) and dot-directives need
+        the whole-netlist entry point
+        :func:`~repro.spice.parser.parse_netlist` and are rejected here.
+        """
+        if isinstance(element, str):
+            from repro.spice.parser import parse_statement
+
+            return parse_statement(self, element)
         if element.name in self._names:
             raise NetlistError(f"duplicate element name {element.name!r}")
         self._names.add(element.name)
@@ -742,6 +761,35 @@ class Circuit:
                     seen[node] = None
         return list(seen)
 
+    def to_netlist(self) -> str:
+        """Render the circuit as SPICE-like netlist text.
+
+        The output parses back (:func:`repro.spice.parser.parse_netlist`)
+        into an equivalent circuit: same node names, same element order,
+        bit-identical values (floats are emitted via ``repr``, which
+        round-trips exactly).  :class:`Param` / :class:`ParamAffine`
+        values are emitted as ``{...}`` expressions.
+
+        Requires netlist-compatible naming: each element's name must
+        start with its SPICE type letter (``R1`` for a resistor, ``vin``
+        for a voltage source, ...) and names/nodes must be plain tokens
+        -- violations raise :class:`~repro.errors.NetlistError` rather
+        than emitting text that would parse back as something else.
+        """
+        lines = []
+        if self.title:
+            lines.append(f".title {self.title}")
+        for element in self._elements:
+            lines.append(_format_element(element))
+        for mutual in self._mutuals:
+            _check_prefix(mutual.name, "K", "mutual inductance")
+            lines.append(
+                f"{mutual.name} {mutual.inductor1} {mutual.inductor2} "
+                f"{_format_number(mutual.coupling)}"
+            )
+        lines.append(".end")
+        return "\n".join(lines) + "\n"
+
     def __len__(self) -> int:
         return len(self._elements)
 
@@ -810,3 +858,155 @@ class Circuit:
         unreachable = [n for n in self.node_names() if n not in reached]
         if unreachable:
             raise NetlistError(f"nodes not connected to ground: {unreachable}")
+
+
+# ---------------------------------------------------------------------------
+# Netlist text emission (the inverse of repro.spice.parser)
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = __import__("re").compile(r"[A-Za-z0-9_][A-Za-z0-9_.\-]*")
+_IDENT_RE = __import__("re").compile(r"[A-Za-z_][A-Za-z_0-9]*")
+
+
+def _check_token(token: str, what: str) -> str:
+    """A name/node usable as a whitespace-delimited netlist field."""
+    if not _TOKEN_RE.fullmatch(token):
+        raise NetlistError(
+            f"{what} {token!r} cannot be written as a netlist token"
+        )
+    return token
+
+
+def _check_prefix(name: str, letter: str, what: str) -> str:
+    """Element names must start with their SPICE type letter to parse
+    back as the same element kind."""
+    _check_token(name, f"{what} name")
+    if name[0].upper() != letter:
+        raise NetlistError(
+            f"{what} {name!r} must be named with a leading "
+            f"{letter!r}/{letter.lower()!r} to survive a netlist round-trip"
+        )
+    return name
+
+
+def _format_number(value) -> str:
+    """Exact (repr) float formatting; round-trips bit-identically."""
+    return repr(float(value))
+
+
+def _format_value(value) -> str:
+    """An element value field: plain number or ``{...}`` expression."""
+    if isinstance(value, Param):
+        if not _IDENT_RE.fullmatch(value.name):
+            raise NetlistError(
+                f"parameter name {value.name!r} cannot be written in a "
+                "{...} expression"
+            )
+        if value.scale == 1.0:
+            return "{%s}" % value.name
+        return "{%s*%s}" % (_format_number(value.scale), value.name)
+    if isinstance(value, ParamAffine):
+        parts = []
+        for name, coeff in value.terms:
+            if not _IDENT_RE.fullmatch(name):
+                raise NetlistError(
+                    f"parameter name {name!r} cannot be written in a "
+                    "{...} expression"
+                )
+            parts.append(f"{_format_number(coeff)}*{name}")
+        if value.const != 0.0:
+            parts.append(_format_number(value.const))
+        return "{%s}" % " + ".join(parts)
+    return _format_number(value)
+
+
+def _format_waveform(waveform: SourceWaveform) -> str:
+    """A source's waveform tail in the parser's grammar."""
+    if isinstance(waveform, Dc):
+        return f"DC {_format_number(waveform.value)}"
+    if isinstance(waveform, Step):
+        fields = (waveform.v0, waveform.v1, waveform.t_delay, waveform.t_rise)
+        return "STEP(%s)" % " ".join(_format_number(v) for v in fields)
+    if isinstance(waveform, Pulse):
+        fields = (
+            waveform.v0,
+            waveform.v1,
+            waveform.t_delay,
+            waveform.t_rise,
+            waveform.t_fall,
+            waveform.width,
+            waveform.period,
+        )
+        return "PULSE(%s)" % " ".join(_format_number(v) for v in fields)
+    if isinstance(waveform, Sine):
+        fields = (
+            waveform.offset,
+            waveform.amplitude,
+            waveform.frequency,
+            waveform.t_delay,
+        )
+        return "SIN(%s)" % " ".join(_format_number(v) for v in fields)
+    if isinstance(waveform, PiecewiseLinear):
+        flat = [v for point in waveform.points for v in point]
+        return "PWL(%s)" % " ".join(_format_number(v) for v in flat)
+    raise NetlistError(
+        f"waveform {type(waveform).__name__} has no netlist form"
+    )
+
+
+def _format_element(element: Element) -> str:
+    """One element statement line (without trailing newline)."""
+    prefixes = {
+        Resistor: ("R", "resistor"),
+        Capacitor: ("C", "capacitor"),
+        Inductor: ("L", "inductor"),
+        VoltageSource: ("V", "voltage source"),
+        CurrentSource: ("I", "current source"),
+        VoltageControlledVoltageSource: ("E", "VCVS"),
+        VoltageControlledCurrentSource: ("G", "VCCS"),
+        CurrentControlledVoltageSource: ("H", "CCVS"),
+        CurrentControlledCurrentSource: ("F", "CCCS"),
+    }
+    try:
+        letter, what = prefixes[type(element)]
+    except KeyError:
+        raise NetlistError(
+            f"element {element.name!r} of type {type(element).__name__} "
+            "has no netlist form"
+        ) from None
+    _check_prefix(element.name, letter, what)
+    nodes = [
+        _check_token(element.node_pos, "node"),
+        _check_token(element.node_neg, "node"),
+    ]
+    head = f"{element.name} {' '.join(nodes)}"
+    if isinstance(element, Resistor):
+        return f"{head} {_format_value(element.value)}"
+    if isinstance(element, Capacitor):
+        tail = ""
+        if element.initial_voltage != 0.0:
+            tail = f" ic={_format_number(element.initial_voltage)}"
+        return f"{head} {_format_value(element.value)}{tail}"
+    if isinstance(element, Inductor):
+        tail = ""
+        if element.initial_current != 0.0:
+            tail = f" ic={_format_number(element.initial_current)}"
+        return f"{head} {_format_value(element.value)}{tail}"
+    if isinstance(element, (VoltageSource, CurrentSource)):
+        return f"{head} {_format_waveform(element.waveform)}"
+    if isinstance(
+        element, (VoltageControlledVoltageSource, VoltageControlledCurrentSource)
+    ):
+        gain = getattr(element, "gain", None)
+        if gain is None:
+            gain = element.transconductance
+        ctrl = (
+            _check_token(element.ctrl_pos, "control node"),
+            _check_token(element.ctrl_neg, "control node"),
+        )
+        return f"{head} {' '.join(ctrl)} {_format_number(gain)}"
+    gain = getattr(element, "gain", None)
+    if gain is None:
+        gain = element.transresistance
+    ctrl_source = _check_token(element.ctrl_source, "control source")
+    return f"{head} {ctrl_source} {_format_number(gain)}"

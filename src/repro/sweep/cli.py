@@ -21,6 +21,14 @@ Examples::
     python -m repro sweep simulated_delay_50 \\
         --axis zeta=0.5,1,2 --fixed r_ratio=0.1 --fixed c_ratio=0.1 \\
         --route tline --workers 4
+
+``--netlist FILE`` sweeps a parametric netlist file instead of a named
+quantity: the axes/fixed values map onto the netlist's ``{...}``
+parameter slots and every grid point is stepped in one
+:func:`~repro.spice.transient.simulate_transient_batch` call::
+
+    python -m repro sweep --netlist line.cir --axis rt=log:10:1000:7 \\
+        --node out
 """
 
 from __future__ import annotations
@@ -48,6 +56,16 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         dest="list_quantities",
         help="list the available quantities and exit",
+    )
+    parser.add_argument(
+        "--netlist",
+        metavar="FILE",
+        help="sweep a parametric netlist file's {...} slots instead of "
+        "a named quantity",
+    )
+    parser.add_argument(
+        "--node",
+        help="netlist node to measure (default: last node in the file)",
     )
     parser.add_argument(
         "--axis",
@@ -163,8 +181,8 @@ def _parse_fixed(text: str):
         return name, value
 
 
-def build_sweep(args: argparse.Namespace) -> Sweep:
-    """Translate parsed CLI arguments into a :class:`Sweep` spec."""
+def _build_grid(args: argparse.Namespace) -> tuple[ParameterGrid, dict]:
+    """The ``--axis``/``--zip``/``--fixed`` arguments as (grid, fixed)."""
     axes = [_parse_axis(text) for text in args.axis]
     if not axes:
         raise ReproError("at least one --axis is required")
@@ -199,6 +217,12 @@ def build_sweep(args: argparse.Namespace) -> Sweep:
             components.append(axis)
 
     fixed = dict(_parse_fixed(text) for text in args.fixed)
+    return ParameterGrid(*components), fixed
+
+
+def build_sweep(args: argparse.Namespace) -> Sweep:
+    """Translate parsed CLI arguments into a :class:`Sweep` spec."""
+    grid, fixed = _build_grid(args)
     options = {}
     if args.route is not None:
         options["route"] = args.route
@@ -212,7 +236,117 @@ def build_sweep(args: argparse.Namespace) -> Sweep:
         options["dt"] = args.dt
     if args.backend is not None:
         options["backend"] = args.backend
-    return Sweep(args.quantity, ParameterGrid(*components), fixed, options)
+    return Sweep(args.quantity, grid, fixed, options)
+
+
+def _subsample(rows: list, max_rows: int | None) -> list:
+    """Evenly subsample ``rows`` down to ``max_rows`` (None keeps all)."""
+    if max_rows is None or len(rows) <= max_rows:
+        return rows
+    step = (len(rows) - 1) / (max_rows - 1) if max_rows > 1 else 0.0
+    return [rows[round(i * step)] for i in range(max_rows)]
+
+
+def _run_netlist_sweep(args: argparse.Namespace) -> int:
+    """Sweep a parametric netlist file's ``{...}`` slots over a grid."""
+    from repro.experiments.common import ExperimentTable, render_table
+    from repro.spice.parser import parse_netlist_file, suggest_transient_window
+    from repro.spice.transient import simulate_transient_batch
+
+    import numpy as np
+
+    parsed = parse_netlist_file(args.netlist)
+    if not parsed.is_parametric:
+        raise ReproError(
+            f"netlist {args.netlist!r} has no {{...}} parameter slots to "
+            "sweep; use 'python -m repro run --netlist' for a single shot"
+        )
+    grid, fixed = _build_grid(args)
+    slots = set(parsed.circuit.parameter_names())
+    unknown = sorted((set(grid.names) | set(fixed)) - slots)
+    if unknown:
+        raise ReproError(
+            f"unknown netlist parameter(s) {', '.join(unknown)}; "
+            f"slots: {', '.join(sorted(slots))}"
+        )
+    overlap = sorted(set(grid.names) & set(fixed))
+    if overlap:
+        raise ReproError(
+            f"parameter(s) both swept and fixed: {', '.join(overlap)}"
+        )
+    bad_fixed = sorted(k for k, v in fixed.items() if not isinstance(v, float))
+    if bad_fixed:
+        raise ReproError(
+            f"netlist --fixed values must be numbers: {', '.join(bad_fixed)}"
+        )
+    columns = grid.columns()
+    for name, col in columns.items():
+        if not np.issubdtype(col.dtype, np.number):
+            raise ReproError(
+                f"netlist axis {name!r} must be numeric, got {col.dtype}"
+            )
+    template = parsed.template(fixed or None)
+
+    node = args.node or parsed.circuit.node_names()[-1]
+    if node not in parsed.circuit.node_names():
+        raise ReproError(
+            f"node {node!r} not in netlist; nodes: "
+            f"{', '.join(parsed.circuit.node_names())}"
+        )
+
+    n_samples = args.n_samples or 2000
+    window = args.window or 1.0
+    t_stops = np.empty(grid.size)
+    for i, point in enumerate(grid.points()):
+        t_stop_i, _ = suggest_transient_window(
+            template.bind(point), n_samples=n_samples
+        )
+        t_stops[i] = window * t_stop_i
+    if args.dt is not None:
+        t_stop, dt = float(t_stops.max()), args.dt
+    else:
+        t_stop, dt = t_stops, t_stops / n_samples
+
+    result = simulate_transient_batch(
+        template,
+        columns,
+        t_stop,
+        dt,
+        backend=args.backend or "auto",
+        record=[node],
+    )
+    rows = []
+    for i in range(grid.size):
+        wave = result.waveform(i, node)
+        try:
+            delay = wave.delay_50()
+        except ReproError:
+            delay = float("nan")
+        rows.append(
+            tuple(float(columns[name][i]) for name in grid.names)
+            + (delay, wave.final_value)
+        )
+    shown = _subsample(rows, args.max_rows if args.max_rows > 0 else None)
+    notes = [
+        f"{grid.size} grid point(s) stepped in one "
+        f"simulate_transient_batch call; {n_samples} samples/point",
+    ]
+    if fixed:
+        notes.append(
+            "fixed: "
+            + ", ".join(f"{k}={v:g}" for k, v in sorted(fixed.items()))
+        )
+    if len(shown) < len(rows):
+        notes.append(f"showing {len(shown)} of {len(rows)} rows")
+    table = ExperimentTable(
+        experiment_id="SWEEP",
+        title=f"netlist sweep: {args.netlist} v({node})",
+        headers=tuple(grid.names) + ("delay_50_s", "v_final_v"),
+        rows=tuple(shown),
+        notes=tuple(notes),
+    )
+    print(render_table(table))
+    return 0
 
 
 def _list_quantities() -> int:
@@ -232,10 +366,32 @@ def run_sweep(args: argparse.Namespace) -> int:
 
     if args.list_quantities:
         return _list_quantities()
+    instrumented = bool(args.trace or args.metrics_out)
+    if args.netlist:
+        if args.quantity:
+            print(
+                "give a quantity or --netlist, not both", file=sys.stderr
+            )
+            return 2
+        if instrumented:
+            obs.enable()
+        try:
+            status = _run_netlist_sweep(args)
+        except ReproError as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 2
+        if args.trace:
+            print()
+            print(obs.render_trace())
+        if args.metrics_out:
+            path = obs.write_metrics(
+                args.metrics_out, extra={"netlist": args.netlist}
+            )
+            print(f"metrics written to {path}")
+        return status
     if not args.quantity:
         print("a quantity is required (see --list)", file=sys.stderr)
         return 2
-    instrumented = bool(args.trace or args.metrics_out)
     if instrumented:
         obs.enable()
     try:

@@ -1,0 +1,57 @@
+"""Arbitrary-topology circuit generators beyond the straight ladder.
+
+The paper's world is a single driver/line/load ladder; this subpackage
+widens it to the non-ladder structures the related interconnect
+literature validates on:
+
+- :mod:`repro.topology.htree`  -- clock H-trees (binary branching,
+  per-level wire shrink, per-sink load weights for skew studies),
+- :mod:`repro.topology.fanout` -- fanout/star trees (one hub, N branch
+  wires, optional trunk),
+- :mod:`repro.topology.mesh`   -- rectangular R/RLC grids (power-grid
+  style, analytic DC cross-checks),
+- :mod:`repro.topology.lines`  -- the shared uniform-PI wire stamping
+  helper (:func:`~repro.topology.lines.add_rlc_line`).
+
+Every generator follows the ladder's structure/value split: a
+``build_*_template`` exposing :class:`~repro.spice.netlist.Param`
+slots (so ``revalue``/``simulate_transient_batch``/``ac_sweep_batch``
+and the sweep runner serve these topologies exactly like ladders), and
+a ``build_*_circuit`` that is a thin ``template.bind``.  All emit the
+plain :class:`~repro.spice.netlist.Circuit` and feed the COO
+``build_mna_structure`` path unchanged, so every solver backend applies.
+"""
+
+from repro.topology.fanout import (
+    FanoutTreeSpec,
+    build_fanout_circuit,
+    build_fanout_template,
+)
+from repro.topology.htree import (
+    HTreeSpec,
+    build_htree_circuit,
+    build_htree_template,
+    htree_sink_nodes,
+)
+from repro.topology.lines import add_rlc_line
+from repro.topology.mesh import (
+    MeshSpec,
+    build_mesh_circuit,
+    build_mesh_template,
+    mesh_node,
+)
+
+__all__ = [
+    "HTreeSpec",
+    "build_htree_circuit",
+    "build_htree_template",
+    "htree_sink_nodes",
+    "FanoutTreeSpec",
+    "build_fanout_circuit",
+    "build_fanout_template",
+    "MeshSpec",
+    "build_mesh_circuit",
+    "build_mesh_template",
+    "mesh_node",
+    "add_rlc_line",
+]

@@ -1,0 +1,198 @@
+"""Fanout-tree generator: one driver, N parallel branch wires, N sinks.
+
+A fanout tree models a net that splits at a single hub into ``fanout``
+identical branch wires, each terminated by a load capacitance -- the
+repeater-output net of a clock distribution stage, or a signal net with
+several receivers.  An optional trunk wire connects the driver to the
+hub; with ``trunk_segments=0`` the driver resistance feeds the hub
+directly (the pure star net).
+
+``fanout=1`` with a trunk is just a two-wire chain and must agree with
+the equivalent single ladder to 1e-12, which the cross-validation suite
+pins.  The template/concrete split mirrors the ladder and H-tree
+builders: :func:`build_fanout_template` exposes ``rt``/``lt``/``ct``
+(trunk), ``brt``/``blt``/``bct`` (per-branch), ``rtr`` and ``cl`` as
+:class:`~repro.spice.netlist.Param` slots, and
+:func:`build_fanout_circuit` is a thin ``template.bind``.
+
+Node names: ``in`` (source), ``root`` (after the driver), ``hub`` (the
+split point; ``root`` itself when there is no trunk) and sinks
+``s0 .. s{fanout-1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ParameterError, require_nonnegative, require_positive
+from repro.spice.mna import CircuitTemplate
+from repro.spice.netlist import Circuit, Param, Step
+from repro.topology.lines import add_rlc_line
+
+__all__ = [
+    "FanoutTreeSpec",
+    "build_fanout_template",
+    "build_fanout_circuit",
+]
+
+
+@dataclass(frozen=True)
+class FanoutTreeSpec:
+    """A concrete fanout tree: trunk + N branch wires + sink loads.
+
+    Attributes
+    ----------
+    fanout:
+        Number of branch wires / sinks (>= 1).
+    rt, lt, ct:
+        Trunk wire totals (ignored -- and required zero -- when
+        ``trunk_segments == 0``).
+    brt, blt, bct:
+        Per-branch wire totals.
+    rtr:
+        Driver output resistance (> 0).
+    cl:
+        Per-sink load capacitance (> 0).
+    trunk_segments:
+        PI segments of the trunk wire; 0 removes the trunk entirely
+        (the hub coincides with the driver output node).
+    branch_segments:
+        PI segments of each branch wire (>= 1).
+    """
+
+    fanout: int
+    brt: float
+    blt: float
+    bct: float
+    rtr: float
+    cl: float
+    rt: float = 0.0
+    lt: float = 0.0
+    ct: float = 0.0
+    trunk_segments: int = 0
+    branch_segments: int = 8
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fanout, int) or self.fanout < 1:
+            raise ParameterError(
+                f"fanout must be a positive integer, got {self.fanout!r}"
+            )
+        require_nonnegative("brt", self.brt)
+        require_positive("blt", self.blt)
+        require_positive("bct", self.bct)
+        require_positive("rtr", self.rtr)
+        require_positive("cl", self.cl)
+        if not isinstance(self.trunk_segments, int) or self.trunk_segments < 0:
+            raise ParameterError(
+                f"trunk_segments must be a nonnegative integer, "
+                f"got {self.trunk_segments!r}"
+            )
+        if (
+            not isinstance(self.branch_segments, int)
+            or self.branch_segments < 1
+        ):
+            raise ParameterError(
+                f"branch_segments must be a positive integer, "
+                f"got {self.branch_segments!r}"
+            )
+        if self.trunk_segments > 0:
+            require_nonnegative("rt", self.rt)
+            require_positive("lt", self.lt)
+            require_positive("ct", self.ct)
+        elif self.rt or self.lt or self.ct:
+            raise ParameterError(
+                "trunk totals (rt, lt, ct) require trunk_segments > 0"
+            )
+
+    @property
+    def sink_nodes(self) -> tuple[str, ...]:
+        """Sink node names ``s0 .. s{fanout-1}``."""
+        return tuple(f"s{j}" for j in range(self.fanout))
+
+    @property
+    def output_node(self) -> str:
+        """The first sink (the conventional measurement node)."""
+        return "s0"
+
+
+@lru_cache(maxsize=64)
+def build_fanout_template(
+    fanout: int,
+    trunk_segments: int = 0,
+    branch_segments: int = 8,
+    v_step: float = 1.0,
+) -> CircuitTemplate:
+    """Parameterized fanout tree: structure fixed, values as Params.
+
+    Parameter slots: ``brt``/``blt``/``bct`` (per-branch totals),
+    ``rtr``, ``cl``, plus ``rt``/``lt``/``ct`` when the structure has a
+    trunk (``trunk_segments > 0``).  Memoized per argument tuple.
+    """
+    if not isinstance(fanout, int) or fanout < 1:
+        raise ParameterError(
+            f"fanout must be a positive integer, got {fanout!r}"
+        )
+    ckt = Circuit(
+        f"fanout tree template N={fanout} trunk={trunk_segments} "
+        f"branch={branch_segments}"
+    )
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, v_step))
+    ckt.add_resistor("rdrv", "in", "root", Param("rtr"))
+    hub = "root"
+    if trunk_segments > 0:
+        hub = "hub"
+        add_rlc_line(
+            ckt,
+            "t",
+            "root",
+            hub,
+            Param("rt"),
+            Param("lt"),
+            Param("ct"),
+            trunk_segments,
+        )
+    for j in range(fanout):
+        add_rlc_line(
+            ckt,
+            f"b{j}",
+            hub,
+            f"s{j}",
+            Param("brt"),
+            Param("blt"),
+            Param("bct"),
+            branch_segments,
+        )
+        ckt.add_capacitor(f"cl{j}", f"s{j}", "0", Param("cl"))
+    return CircuitTemplate(ckt)
+
+
+def build_fanout_circuit(
+    spec: FanoutTreeSpec, v_step: float = 1.0
+) -> Circuit:
+    """Materialize a fanout tree as a concrete step-driven netlist.
+
+    A thin ``template.bind`` over :func:`build_fanout_template`.
+    """
+    template = build_fanout_template(
+        spec.fanout,
+        spec.trunk_segments,
+        spec.branch_segments,
+        v_step=v_step,
+    )
+    params = {
+        "brt": spec.brt,
+        "blt": spec.blt,
+        "bct": spec.bct,
+        "rtr": spec.rtr,
+        "cl": spec.cl,
+    }
+    if spec.trunk_segments > 0:
+        params.update(rt=spec.rt, lt=spec.lt, ct=spec.ct)
+    return template.bind(
+        params,
+        title=(
+            f"fanout tree N={spec.fanout} trunk={spec.trunk_segments} "
+            f"branch={spec.branch_segments}"
+        ),
+    )

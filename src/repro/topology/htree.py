@@ -1,0 +1,238 @@
+"""Clock H-tree generator: binary branching wires driving leaf sinks.
+
+An H-tree distributes a clock from one driver to ``2**levels`` sinks
+through symmetric binary branching: a trunk wire from the driver to the
+first branch point, then at every level two child wires per branch
+point whose totals shrink by ``length_ratio`` (0.5 reproduces the
+classical halving of wire length per level).  Perfect symmetry gives
+zero sink-to-sink skew; the generator can break the symmetry with
+per-sink load weights (``sink_cl_weights``) to study skew, which is
+what experiment EXP-X9 does.
+
+Like the ladder builders, the structure/value split is explicit:
+:func:`build_htree_template` freezes the topology with ``rt``/``lt``/
+``ct``/``rtr``/``cl`` :class:`~repro.spice.netlist.Param` slots (so
+``revalue``/:func:`~repro.spice.transient.simulate_transient_batch`/
+:func:`~repro.spice.ac.ac_sweep_batch` and the sweep runner serve
+H-trees exactly like ladders), and :func:`build_htree_circuit` is a
+thin ``template.bind``.
+
+Node names: ``in`` (source), ``root`` (after the driver resistance),
+``b`` (first branch point), then binary-path names ``b0``/``b1``/
+``b00``/... -- a sink is any ``b{path}`` with ``len(path) == levels``.
+A ``levels=0`` tree is exactly a single loaded wire (a PI ladder),
+which the cross-validation suite pins to the ladder builder at 1e-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ParameterError, require_nonnegative, require_positive
+from repro.spice.mna import CircuitTemplate
+from repro.spice.netlist import Circuit, Param, Step
+from repro.topology.lines import add_rlc_line
+
+__all__ = [
+    "HTreeSpec",
+    "build_htree_template",
+    "build_htree_circuit",
+    "htree_sink_nodes",
+]
+
+
+def htree_sink_nodes(levels: int) -> tuple[str, ...]:
+    """Leaf node names of a ``levels``-deep H-tree, in binary-path order.
+
+    ``levels=0`` has the single sink ``b`` (the trunk end); deeper trees
+    have ``2**levels`` sinks ``b{path}`` with ``path`` running through
+    all binary strings of length ``levels`` (``b00``, ``b01``, ...).
+    """
+    if not isinstance(levels, int) or levels < 0:
+        raise ParameterError(
+            f"levels must be a nonnegative integer, got {levels!r}"
+        )
+    if levels == 0:
+        return ("b",)
+    return tuple(
+        "b" + format(i, f"0{levels}b") for i in range(2**levels)
+    )
+
+
+@dataclass(frozen=True)
+class HTreeSpec:
+    """A concrete H-tree instance: wire totals, driver, sink loads.
+
+    Attributes
+    ----------
+    levels:
+        Branching depth; the tree drives ``2**levels`` sinks
+        (``levels=0`` is a single loaded wire).
+    rt, lt, ct:
+        Totals of the *trunk* wire (SI units); a level-``k`` child wire
+        carries ``length_ratio**k`` of each total.
+    rtr:
+        Driver output resistance (> 0).
+    cl:
+        Per-sink load capacitance (> 0 -- sinks are what the tree
+        drives).
+    n_segments:
+        PI segments per wire (every wire uses the same count).
+    length_ratio:
+        Per-level shrink factor of the wire totals (in (0, 1]).
+    sink_cl_weights:
+        Optional per-sink load multipliers (length ``2**levels``, all
+        > 0) breaking the symmetric ``cl`` load; ``None`` keeps all
+        sinks at ``cl`` exactly.
+    """
+
+    levels: int
+    rt: float
+    lt: float
+    ct: float
+    rtr: float
+    cl: float
+    n_segments: int = 8
+    length_ratio: float = 0.5
+    sink_cl_weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.levels, int) or self.levels < 0:
+            raise ParameterError(
+                f"levels must be a nonnegative integer, got {self.levels!r}"
+            )
+        require_nonnegative("rt", self.rt)
+        require_positive("lt", self.lt)
+        require_positive("ct", self.ct)
+        require_positive("rtr", self.rtr)
+        require_positive("cl", self.cl)
+        if not isinstance(self.n_segments, int) or self.n_segments < 1:
+            raise ParameterError(
+                f"n_segments must be a positive integer, "
+                f"got {self.n_segments!r}"
+            )
+        if not 0.0 < self.length_ratio <= 1.0:
+            raise ParameterError(
+                f"length_ratio must be in (0, 1], got {self.length_ratio!r}"
+            )
+        if self.sink_cl_weights is not None:
+            weights = tuple(float(w) for w in self.sink_cl_weights)
+            if len(weights) != 2**self.levels:
+                raise ParameterError(
+                    f"sink_cl_weights needs {2**self.levels} entries "
+                    f"(one per sink), got {len(weights)}"
+                )
+            if any(w <= 0.0 for w in weights):
+                raise ParameterError("sink_cl_weights must all be > 0")
+            object.__setattr__(self, "sink_cl_weights", weights)
+
+    @property
+    def sink_nodes(self) -> tuple[str, ...]:
+        """Leaf node names, in binary-path order."""
+        return htree_sink_nodes(self.levels)
+
+    @property
+    def output_node(self) -> str:
+        """The first sink (the conventional measurement node)."""
+        return self.sink_nodes[0]
+
+
+@lru_cache(maxsize=64)
+def build_htree_template(
+    levels: int,
+    n_segments: int = 8,
+    length_ratio: float = 0.5,
+    sink_cl_weights: tuple[float, ...] | None = None,
+    v_step: float = 1.0,
+) -> CircuitTemplate:
+    """Parameterized H-tree: structure fixed, wire/load values as Params.
+
+    Parameter slots are ``rt``, ``lt``, ``ct`` (trunk totals; children
+    scale by ``length_ratio**level`` through the Param scale), ``rtr``
+    and ``cl`` (per-sink load, weighted by ``sink_cl_weights`` when
+    given).  Results are memoized per argument tuple so sweep chunks
+    reuse the cached MNA structure.
+    """
+    if sink_cl_weights is not None:
+        sink_cl_weights = tuple(float(w) for w in sink_cl_weights)
+    # Validate through the spec's rules without duplicating them.
+    spec = HTreeSpec(
+        levels=levels,
+        rt=1.0,
+        lt=1.0,
+        ct=1.0,
+        rtr=1.0,
+        cl=1.0,
+        n_segments=n_segments,
+        length_ratio=length_ratio,
+        sink_cl_weights=sink_cl_weights,
+    )
+    ckt = Circuit(
+        f"H-tree template levels={levels} n={n_segments} "
+        f"ratio={length_ratio:g}"
+    )
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, v_step))
+    ckt.add_resistor("rdrv", "in", "root", Param("rtr"))
+    add_rlc_line(
+        ckt,
+        "t",
+        "root",
+        "b",
+        Param("rt"),
+        Param("lt"),
+        Param("ct"),
+        n_segments,
+    )
+    frontier = ["b"]
+    for level in range(1, levels + 1):
+        scale = length_ratio**level
+        next_frontier = []
+        for parent in frontier:
+            for bit in "01":
+                child = parent + bit
+                add_rlc_line(
+                    ckt,
+                    f"w{child[1:]}",
+                    parent,
+                    child,
+                    Param("rt", scale),
+                    Param("lt", scale),
+                    Param("ct", scale),
+                    n_segments,
+                )
+                next_frontier.append(child)
+        frontier = next_frontier
+    weights = sink_cl_weights or (1.0,) * len(frontier)
+    for sink, weight in zip(frontier, weights):
+        ckt.add_capacitor(f"cl{sink[1:] or '0'}", sink, "0", Param("cl", weight))
+    return CircuitTemplate(ckt)
+
+
+def build_htree_circuit(spec: HTreeSpec, v_step: float = 1.0) -> Circuit:
+    """Materialize an H-tree as a concrete step-driven netlist.
+
+    A thin ``template.bind`` over :func:`build_htree_template`, so the
+    concrete and template paths are structurally identical by
+    construction (mirroring the ladder builders).
+    """
+    template = build_htree_template(
+        spec.levels,
+        spec.n_segments,
+        spec.length_ratio,
+        spec.sink_cl_weights,
+        v_step=v_step,
+    )
+    return template.bind(
+        {
+            "rt": spec.rt,
+            "lt": spec.lt,
+            "ct": spec.ct,
+            "rtr": spec.rtr,
+            "cl": spec.cl,
+        },
+        title=(
+            f"H-tree levels={spec.levels} n={spec.n_segments} "
+            f"(Rt={spec.rt:g}, Lt={spec.lt:g}, Ct={spec.ct:g})"
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Uniform RLC wire segments for arbitrary-topology builders.
+
+Every generator in :mod:`repro.topology` models its wires the same way
+the ladder does: a uniform PI-segment chain whose totals are split over
+``n`` identical lumped segments (O(1/n**2) delay error, matching
+:mod:`repro.spice.ladder`'s default topology).  :func:`add_rlc_line`
+stamps one such wire between two existing nodes of a circuit; junction
+capacitance composes naturally because each wire contributes its own
+half-segment end capacitors as separate elements and parallel
+capacitors simply sum in MNA.
+
+Values may be floats *or* :class:`~repro.spice.netlist.Param` slots --
+the per-segment share is expressed as ``value * weight``, which both
+types support -- so one helper serves concrete circuits and
+:class:`~repro.spice.mna.CircuitTemplate` structures alike.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.spice.netlist import Circuit
+
+__all__ = ["add_rlc_line"]
+
+
+def add_rlc_line(
+    circuit: Circuit,
+    prefix: str,
+    n_from: str,
+    n_to: str,
+    rt,
+    lt,
+    ct,
+    n_segments: int,
+) -> list[str]:
+    """Stamp a uniform PI-segment RLC wire between two existing nodes.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to stamp into (mutated in place).
+    prefix:
+        Unique wire identifier; element names are ``r{prefix}_{i}`` /
+        ``l{prefix}_{i}`` / ``c{prefix}_{k}`` and interior nodes
+        ``{prefix}_{i}`` / branch-split nodes ``{prefix}x{i}``, so two
+        wires never collide as long as their prefixes differ.
+    n_from, n_to:
+        End nodes (created implicitly if new).  Each end receives a
+        half-segment shunt capacitor ``ct / (2 n_segments)``; a node
+        shared by several wires accumulates their half-caps in parallel,
+        which is exactly the junction capacitance of the composed net.
+    rt, lt, ct:
+        Wire totals (ohms, henries, farads) -- floats or
+        :class:`~repro.spice.netlist.Param` values.
+    n_segments:
+        Number of identical PI segments (>= 1).
+
+    Returns
+    -------
+    list[str]
+        The chain's node positions ``[n_from, interior..., n_to]``.
+    """
+    if not isinstance(n_segments, int) or n_segments < 1:
+        raise ParameterError(
+            f"n_segments must be a positive integer, got {n_segments!r}"
+        )
+    seg = 1.0 / n_segments
+    positions = (
+        [n_from]
+        + [f"{prefix}_{i}" for i in range(1, n_segments)]
+        + [n_to]
+    )
+    for i in range(n_segments):
+        split = f"{prefix}x{i + 1}"
+        circuit.add_resistor(
+            f"r{prefix}_{i + 1}", positions[i], split, rt * seg
+        )
+        circuit.add_inductor(
+            f"l{prefix}_{i + 1}", split, positions[i + 1], lt * seg
+        )
+    # PI capacitance: half a segment share at both ends, full shares at
+    # the interior positions -- emitted per-position so junction nodes
+    # shared with other wires sum their half-caps in parallel.
+    for k, node in enumerate(positions):
+        weight = seg if 0 < k < n_segments else seg / 2
+        circuit.add_capacitor(f"c{prefix}_{k}", node, "0", ct * weight)
+    return positions

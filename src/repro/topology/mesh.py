@@ -1,0 +1,198 @@
+"""Rectangular mesh generator: a rows x cols grid of RLC edges.
+
+Power/clock grids are meshes, not trees: every interior node connects
+to four neighbors, so current has many parallel paths and the DC drop
+at a corner is a classic resistor-grid problem with known closed forms
+for small grids -- which is exactly how the cross-validation suite pins
+this builder (2x2 series/parallel reduction, 1xN voltage divider).
+
+Each horizontal/vertical edge carries resistance ``r_edge`` (optionally
+in series with ``l_edge``); each node optionally carries ``c_node`` to
+ground.  The driver feeds corner ``m0_0`` through ``rtr``; the far
+corner ``m{rows-1}_{cols-1}`` optionally carries a load capacitance
+``cl`` and/or a resistive termination ``r_load`` to ground.
+
+Structure/value split as elsewhere in :mod:`repro.topology`:
+:func:`build_mesh_template` exposes ``re``/``le``/``cn``/``rtr``/
+``cl``/``rl`` :class:`~repro.spice.netlist.Param` slots (the subset the
+chosen structure uses), and :func:`build_mesh_circuit` binds it.
+Zero-vs-nonzero ``l_edge``/``c_node``/``cl``/``r_load`` are
+*structural* choices (they add or remove elements), mirroring the
+``loaded`` flag of the ladder template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ParameterError, require_nonnegative, require_positive
+from repro.spice.mna import CircuitTemplate
+from repro.spice.netlist import Circuit, Param, Step
+
+__all__ = [
+    "MeshSpec",
+    "build_mesh_template",
+    "build_mesh_circuit",
+    "mesh_node",
+]
+
+
+def mesh_node(row: int, col: int) -> str:
+    """Grid node name ``m{row}_{col}``."""
+    return f"m{row}_{col}"
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """A concrete rectangular mesh instance.
+
+    Attributes
+    ----------
+    rows, cols:
+        Grid extent; ``rows * cols >= 2`` (a 1xN mesh is a resistor
+        chain).
+    r_edge:
+        Resistance of every horizontal/vertical edge (> 0).
+    l_edge:
+        Series inductance per edge; 0 gives a pure RC/R mesh
+        (structurally: no inductors at all).
+    c_node:
+        Capacitance to ground at every node; 0 omits the capacitors.
+    rtr:
+        Driver output resistance feeding corner ``m0_0`` (> 0).
+    cl:
+        Load capacitance at the far corner; 0 omits it.
+    r_load:
+        Resistive termination at the far corner; 0 omits it.  A pure-R
+        mesh (``l_edge = c_node = cl = 0``) needs ``r_load > 0`` for a
+        well-posed DC drop.
+    """
+
+    rows: int
+    cols: int
+    r_edge: float
+    rtr: float
+    l_edge: float = 0.0
+    c_node: float = 0.0
+    cl: float = 0.0
+    r_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, value in (("rows", self.rows), ("cols", self.cols)):
+            if not isinstance(value, int) or value < 1:
+                raise ParameterError(
+                    f"{label} must be a positive integer, got {value!r}"
+                )
+        if self.rows * self.cols < 2:
+            raise ParameterError("mesh needs at least two nodes")
+        require_positive("r_edge", self.r_edge)
+        require_positive("rtr", self.rtr)
+        require_nonnegative("l_edge", self.l_edge)
+        require_nonnegative("c_node", self.c_node)
+        require_nonnegative("cl", self.cl)
+        require_nonnegative("r_load", self.r_load)
+        if (
+            self.c_node == 0.0
+            and self.cl == 0.0
+            and self.r_load == 0.0
+        ):
+            raise ParameterError(
+                "mesh needs a load: set c_node, cl or r_load nonzero "
+                "(otherwise no current flows and the far corner floats "
+                "at the source voltage)"
+            )
+
+    @property
+    def output_node(self) -> str:
+        """The far-corner node ``m{rows-1}_{cols-1}``."""
+        return mesh_node(self.rows - 1, self.cols - 1)
+
+
+@lru_cache(maxsize=64)
+def build_mesh_template(
+    rows: int,
+    cols: int,
+    inductive: bool = False,
+    with_node_caps: bool = True,
+    loaded: bool = False,
+    terminated: bool = False,
+    v_step: float = 1.0,
+) -> CircuitTemplate:
+    """Parameterized mesh: structure fixed, values as Params.
+
+    Parameter slots: ``re`` (edge resistance), ``rtr``, plus ``le``
+    when ``inductive``, ``cn`` when ``with_node_caps``, ``cl`` when
+    ``loaded`` and ``rl`` when ``terminated``.  At least one of the
+    load flags must be set (a source-only mesh carries no current).
+    Memoized per argument tuple.
+    """
+    for label, value in (("rows", rows), ("cols", cols)):
+        if not isinstance(value, int) or value < 1:
+            raise ParameterError(
+                f"{label} must be a positive integer, got {value!r}"
+            )
+    if rows * cols < 2:
+        raise ParameterError("mesh needs at least two nodes")
+    if not (with_node_caps or loaded or terminated):
+        raise ParameterError(
+            "mesh template needs with_node_caps, loaded or terminated"
+        )
+    ckt = Circuit(f"mesh template {rows}x{cols}")
+    ckt.add_voltage_source("vin", "in", "0", Step(0.0, v_step))
+    ckt.add_resistor("rdrv", "in", mesh_node(0, 0), Param("rtr"))
+    edge = 0
+    for i in range(rows):
+        for j in range(cols):
+            here = mesh_node(i, j)
+            for there in (
+                mesh_node(i, j + 1) if j + 1 < cols else None,
+                mesh_node(i + 1, j) if i + 1 < rows else None,
+            ):
+                if there is None:
+                    continue
+                edge += 1
+                if inductive:
+                    split = f"e{edge}x"
+                    ckt.add_resistor(f"re{edge}", here, split, Param("re"))
+                    ckt.add_inductor(f"le{edge}", split, there, Param("le"))
+                else:
+                    ckt.add_resistor(f"re{edge}", here, there, Param("re"))
+            if with_node_caps:
+                ckt.add_capacitor(f"cn{i}_{j}", here, "0", Param("cn"))
+    far = mesh_node(rows - 1, cols - 1)
+    if loaded:
+        ckt.add_capacitor("cload", far, "0", Param("cl"))
+    if terminated:
+        ckt.add_resistor("rload", far, "0", Param("rl"))
+    return CircuitTemplate(ckt)
+
+
+def build_mesh_circuit(spec: MeshSpec, v_step: float = 1.0) -> Circuit:
+    """Materialize a mesh as a concrete step-driven netlist.
+
+    A thin ``template.bind`` over :func:`build_mesh_template`; the
+    spec's zero/nonzero load fields choose the structural flags.
+    """
+    template = build_mesh_template(
+        spec.rows,
+        spec.cols,
+        inductive=spec.l_edge > 0,
+        with_node_caps=spec.c_node > 0,
+        loaded=spec.cl > 0,
+        terminated=spec.r_load > 0,
+        v_step=v_step,
+    )
+    params = {"re": spec.r_edge, "rtr": spec.rtr}
+    if spec.l_edge > 0:
+        params["le"] = spec.l_edge
+    if spec.c_node > 0:
+        params["cn"] = spec.c_node
+    if spec.cl > 0:
+        params["cl"] = spec.cl
+    if spec.r_load > 0:
+        params["rl"] = spec.r_load
+    return template.bind(
+        params,
+        title=f"mesh {spec.rows}x{spec.cols} (Re={spec.r_edge:g})",
+    )

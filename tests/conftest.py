@@ -2,10 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
 import pytest
 
 from repro.core.canonical import DriverLineLoad
 from repro.core.repeater import Buffer
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for property-based tests.
+
+    Override the seed with ``REPRO_TEST_SEED`` to reproduce a failing
+    draw (failed assertions should include the seed in their message).
+    """
+    seed = int(os.environ.get("REPRO_TEST_SEED", "20260808"))
+    return np.random.default_rng(seed)
 
 
 @pytest.fixture

@@ -45,7 +45,7 @@ class TestRegistry:
         expected = {
             "EXP-T1", "EXP-F2", "EXP-F4", "EXP-E17", "EXP-E18",
             "EXP-X1", "EXP-X2", "EXP-X3", "EXP-X4", "EXP-X5", "EXP-X6",
-            "EXP-X7", "EXP-X8",
+            "EXP-X7", "EXP-X8", "EXP-X9",
         }
         assert set(REGISTRY) == expected
 
