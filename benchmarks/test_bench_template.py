@@ -162,6 +162,8 @@ def test_bench_template_batch_sweep(benchmark, record_table, timing_enabled):
                 f"batch: one CircuitTemplate, revalue + refactorize per point, "
                 f"lockstep stepping in chunks of {CHUNK}",
                 f"{int(round(t_stop / dt))} trapezoidal steps per point",
+                "both paths run the model='full' evaluation tier; the "
+                "reduced-order tier on this same workload is EXP-ROM",
             ),
         )
     )

@@ -49,6 +49,7 @@ PAGES = (
     "instrumentation.md",
     "static-analysis.md",
     "netlist.md",
+    "rom.md",
 )
 
 STYLE = """
@@ -100,6 +101,7 @@ class Builder:
                 ("instrumentation", "instrumentation.html"),
                 ("static analysis", "static-analysis.html"),
                 ("netlists", "netlist.html"),
+                ("reduced order", "rom.html"),
                 ("API reference", "api/index.html"),
             )
         )

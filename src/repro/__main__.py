@@ -72,7 +72,9 @@ def _cmd_run_netlist(args: argparse.Namespace) -> int:
         if args.dt is not None:
             dt = args.dt
         result = simulate_transient(
-            circuit, t_stop, dt, backend=args.backend or "auto"
+            circuit, t_stop, dt, backend=args.backend or "auto",
+            model=args.model or "full", rom_order=args.rom_order,
+            rom_error_bound=args.rom_error_bound,
         )
         wave = result.voltage(node)
     except ReproError as exc:
@@ -182,6 +184,20 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--backend",
         help="MNA linear-solver backend (auto | dense | sparse | banded)",
+    )
+    run_parser.add_argument(
+        "--model",
+        help="evaluation-model tier (full | reduced | auto)",
+    )
+    run_parser.add_argument(
+        "--rom-order",
+        type=int,
+        help="reduced order q for --model reduced/auto",
+    )
+    run_parser.add_argument(
+        "--rom-error-bound",
+        type=float,
+        help="error bound gating reduced answers under --model auto",
     )
     sweep_parser = sub.add_parser(
         "sweep",

@@ -27,6 +27,13 @@ from repro.tline.transfer import transfer_moments
 
 __all__ = ["ReducedOrderModel", "awe_reduce", "awe_delay_50"]
 
+#: Condition-number ceiling for the moment Hankel solve.  At or beyond
+#: ``1/eps`` a double-precision solve has no correct digits, so the
+#: build refuses with a clear :class:`~repro.errors.AnalysisError`
+#: instead of delivering NaN or spurious poles; in practice this caps
+#: usable AWE orders at roughly ``q <= 8`` for Table 1-like lines.
+_HANKEL_COND_LIMIT = 1.0 / np.finfo(float).eps
+
 
 @dataclass(frozen=True)
 class ReducedOrderModel:
@@ -75,39 +82,94 @@ def awe_reduce(line: DriverLineLoad, q: int = 3) -> ReducedOrderModel:
     line:
         The driver/line/load instance.
     q:
-        Model order (number of poles).  2-4 is the practical range;
-        beyond that the moment Hankel matrix is usually too
-        ill-conditioned in double precision.
+        Model order (number of poles).  2-4 is the practical range and
+        roughly 1-8 the valid one: the moment Hankel matrix's condition
+        number grows geometrically with ``q`` (moments span many
+        decades), so double precision runs out near order 8 and the
+        guards below reject the solve rather than return NaN poles.
+        Projection-based reduction (:mod:`repro.rom`) is the right tool
+        for higher orders -- its Krylov bases never form moment
+        products, which is exactly why PRIMA superseded raw AWE.
 
     Raises
     ------
     AnalysisError
-        If the Hankel system is singular or the matched model is
-        unstable (right-half-plane poles) -- AWE's classic failure mode,
-        surfaced rather than silently returned.
+        If the Hankel system is singular or numerically unusable
+        (condition beyond double precision, non-finite solve output) or
+        the matched model is unstable (right-half-plane poles) -- AWE's
+        classic failure modes, surfaced as clear errors rather than
+        silently returned garbage.
     """
     if not isinstance(q, int) or q < 1:
         raise ParameterError(f"q must be a positive integer, got {q!r}")
     # Moments m_0 .. m_{2q-1} of H(s) (m_0 = 1).
     m = transfer_moments(line.rt, line.lt, line.ct, line.rtr, line.cl,
                          order=2 * q - 1)
+    if not np.all(np.isfinite(m)):
+        raise AnalysisError(
+            f"AWE order {q}: non-finite transfer moments (the eq. 7 series "
+            "overflows at this order); reduce the order"
+        )
 
-    # Denominator: sum_{i=1..q} b_i m_{k-i} = -m_k for k = q .. 2q-1.
+    # Equilibrate before judging conditioning: moment k scales like
+    # (circuit time constant)^k, so the raw Hankel mixes ~q decades of
+    # magnitude and its condition number reads as astronomic even at
+    # orders where the solve is numerically fine.  Working in the
+    # scaled frequency sigma = s * theta (theta ~ |m_1|, the dominant
+    # time constant) makes the scaled moments O(1) and the remaining
+    # condition growth is the *intrinsic* Hankel ill-conditioning --
+    # the thing that genuinely caps AWE.
+    theta = float(abs(m[1])) if q > 1 and m[1] != 0.0 else 1.0
+    # theta^k itself can overflow at extreme orders; the isfinite check
+    # below turns the resulting inf/nan into the clear error.
+    with np.errstate(over="ignore", invalid="ignore"):
+        ms = m / theta ** np.arange(2 * q, dtype=float)
+    if not np.all(np.isfinite(ms)):
+        raise AnalysisError(
+            f"AWE order {q}: transfer moments span too many decades to "
+            "scale in double precision; reduce the order"
+        )
+
+    # Denominator: sum_{i=1..q} b_i m_{k-i} = -m_k for k = q .. 2q-1,
+    # solved in scaled moments (beta_i = b_i / theta^i).
     hankel = np.empty((q, q))
     rhs = np.empty(q)
     for row, k in enumerate(range(q, 2 * q)):
-        hankel[row] = [m[k - i] for i in range(1, q + 1)]
-        rhs[row] = -m[k]
+        hankel[row] = [ms[k - i] for i in range(1, q + 1)]
+        rhs[row] = -ms[k]
+    # np.linalg.solve only raises on *exact* singularity; an
+    # ill-conditioned Hankel solve "succeeds" with garbage digits and
+    # surfaces later as spurious poles.  Reject it up front -- with
+    # cond >= 1/eps there are no correct digits left in the result.
+    cond = np.linalg.cond(hankel)
+    if not np.isfinite(cond) or cond >= _HANKEL_COND_LIMIT:
+        raise AnalysisError(
+            f"AWE order {q}: moment matrix condition {cond:.3g} exceeds "
+            f"double precision (limit {_HANKEL_COND_LIMIT:.3g}); the Hankel "
+            "ill-conditioning that caps AWE at roughly order 8 -- reduce "
+            "the order (or use the repro.rom projection tier)"
+        )
     try:
-        b = np.linalg.solve(hankel, rhs)
+        beta = np.linalg.solve(hankel, rhs)
     except np.linalg.LinAlgError as exc:
         raise AnalysisError(
             f"AWE order {q}: singular moment matrix (try a lower order)"
         ) from exc
+    if not np.all(np.isfinite(beta)):
+        raise AnalysisError(
+            f"AWE order {q}: denominator solve produced non-finite "
+            "coefficients; reduce the order"
+        )
 
-    # Poles: roots of 1 + b_1 s + ... + b_q s^q.
-    poly = np.concatenate(([1.0], b))  # ascending
-    poles = np.roots(poly[::-1])
+    # Poles: roots of 1 + beta_1 sigma + ... + beta_q sigma^q in the
+    # scaled frequency, mapped back by sigma = s * theta.
+    poly = np.concatenate(([1.0], beta))  # ascending
+    poles = np.roots(poly[::-1]) / theta
+    if not np.all(np.isfinite(poles)):
+        raise AnalysisError(
+            f"AWE order {q}: non-finite poles from the characteristic "
+            "polynomial; reduce the order"
+        )
     if np.any(poles.real >= 0):
         raise AnalysisError(
             f"AWE order {q} produced unstable poles "
@@ -123,6 +185,11 @@ def awe_reduce(line: DriverLineLoad, q: int = 3) -> ReducedOrderModel:
         residues = np.linalg.solve(vander, m[:q].astype(complex))
     except np.linalg.LinAlgError as exc:
         raise AnalysisError(f"AWE order {q}: residue solve failed") from exc
+    if not np.all(np.isfinite(residues)):
+        raise AnalysisError(
+            f"AWE order {q}: residue solve produced non-finite values; "
+            "reduce the order"
+        )
     return ReducedOrderModel(poles=poles, residues=residues)
 
 

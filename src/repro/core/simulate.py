@@ -85,6 +85,9 @@ def simulated_step_waveform(
     window: float = 12.0,
     dt: float | None = None,
     backend: str = "auto",
+    model: str = "full",
+    rom_order: int | None = None,
+    rom_error_bound: float | None = None,
 ) -> Waveform:
     """Unit-step far-end waveform of the Fig. 1 circuit.
 
@@ -107,6 +110,15 @@ def simulated_step_waveform(
         ``"dense"`` | ``"sparse"`` | ``"banded"`` or a
         :class:`~repro.spice.backend.SimulationBackend` instance);
         ignored by the other routes.
+    model, rom_order, rom_error_bound:
+        Evaluation-model tier for the MNA route, as in
+        :func:`~repro.spice.transient.simulate_transient` (``"full"``,
+        ``"reduced"`` or ``"auto"``); ignored by the other routes,
+        which have no MNA system to project.  The tier changes which
+        linear algebra serves the query, not the numerics contract, so
+        :data:`SIMULATOR_VERSION` is unaffected -- ``"full"`` results
+        are bit-identical, and ``"auto"`` guards reduced answers with
+        a-posteriori error checks.
     """
     route = SimulatorRoute(route)
     span = _time_window(line, window)
@@ -134,7 +146,8 @@ def simulated_step_waveform(
     if dt is None:
         dt = span / (n_samples - 1)
     result = simulate_transient(
-        build_ladder_circuit(spec), span, dt=dt, backend=backend
+        build_ladder_circuit(spec), span, dt=dt, backend=backend,
+        model=model, rom_order=rom_order, rom_error_bound=rom_error_bound,
     )
     return result.voltage(spec.output_node)
 
@@ -147,6 +160,9 @@ def simulated_delay_50(
     window: float = 12.0,
     dt: float | None = None,
     backend: str = "auto",
+    model: str = "full",
+    rom_order: int | None = None,
+    rom_error_bound: float | None = None,
 ) -> float:
     """Simulated 50% propagation delay (seconds) of the Fig. 1 circuit.
 
@@ -159,6 +175,7 @@ def simulated_delay_50(
     waveform = simulated_step_waveform(
         line, route=route, n_segments=n_segments, n_samples=n_samples,
         window=window, dt=dt, backend=backend,
+        model=model, rom_order=rom_order, rom_error_bound=rom_error_bound,
     )
     try:
         return waveform.delay_50(v_final=1.0)
@@ -177,6 +194,9 @@ def simulated_delay_50_batch(
     window: float = 12.0,
     dt: float | None = None,
     backend: str = "auto",
+    model: str = "full",
+    rom_order: int | None = None,
+    rom_error_bound: float | None = None,
 ) -> np.ndarray:
     """Simulated 50% delays for a whole batch of Fig. 1 circuits.
 
@@ -194,7 +214,10 @@ def simulated_delay_50_batch(
 
     Parameters are as in :func:`simulated_delay_50`; ``lines`` is a
     sequence of :class:`~repro.core.canonical.DriverLineLoad`.  Returns
-    the delays (seconds) in input order.
+    the delays (seconds) in input order.  The ``model`` tier rides the
+    MNA route's batch path, so a ``"reduced"``/``"auto"`` batch pays
+    one cached projection per structure class and answers every member
+    from the ``q``-space recurrence.
     """
     lines = list(lines)
     route = SimulatorRoute(route)
@@ -204,6 +227,8 @@ def simulated_delay_50_batch(
                 simulated_delay_50(
                     line, route=route, n_segments=n_segments,
                     n_samples=n_samples, window=window, dt=dt, backend=backend,
+                    model=model, rom_order=rom_order,
+                    rom_error_bound=rom_error_bound,
                 )
                 for line in lines
             ],
@@ -247,6 +272,9 @@ def simulated_delay_50_batch(
             dt=dts[members],
             backend=backend,
             record=[output_node],
+            model=model,
+            rom_order=rom_order,
+            rom_error_bound=rom_error_bound,
         )
         voltages = result.voltage(output_node)
         for k, i in enumerate(members):

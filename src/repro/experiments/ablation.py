@@ -40,12 +40,15 @@ def run(
     n_segments: int = 120,
     lt_values=(1e-5, 1e-6, 1e-7, 1e-8),
     backend: str = "auto",
+    model: str = "full",
 ) -> ExperimentTable:
     """Error statistics of each delay model over the Table 1 sweep.
 
     The full four-decade inductance sweep is included: the strongly
     underdamped ``Lt = 1e-5`` corner is precisely where the RC-era
     metrics collapse (errors near 100%) while eq. 9 stays in budget.
+    ``model`` selects the simulation reference's evaluation tier
+    (``"full"`` | ``"reduced"`` | ``"auto"``, MNA route only).
     """
     errors: dict[str, list[float]] = {name: [] for name, _ in _MODELS}
     failures: dict[str, int] = {name: 0 for name, _ in _MODELS}
@@ -54,11 +57,12 @@ def run(
             for c_ratio in table1.CT_VALUES:
                 line = table1.build_case(r_ratio, c_ratio, lt)
                 sim = simulated_delay_50(
-                    line, route=route, n_segments=n_segments, backend=backend
+                    line, route=route, n_segments=n_segments,
+                    backend=backend, model=model,
                 )
-                for name, model in _MODELS:
+                for name, model_fn in _MODELS:
                     try:
-                        err = 100.0 * abs(model(line) - sim) / sim
+                        err = 100.0 * abs(model_fn(line) - sim) / sim
                     except AnalysisError:
                         # AWE's documented instability: count, don't hide.
                         failures[name] += 1

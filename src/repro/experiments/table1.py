@@ -54,19 +54,26 @@ def run(
     ct_values=CT_VALUES,
     lt_values=LT_VALUES,
     backend: str = "auto",
+    model: str = "full",
 ) -> ExperimentTable:
-    """Regenerate Table 1; returns model/simulated delay and error rows."""
+    """Regenerate Table 1; returns model/simulated delay and error rows.
+
+    ``model`` selects the evaluation tier of the simulation reference
+    (``"full"`` | ``"reduced"`` | ``"auto"``, MNA route only) -- see
+    :mod:`repro.rom`.
+    """
     rows = []
     worst = 0.0
     for r_ratio in rt_values:
         for lt in lt_values:
             for c_ratio in ct_values:
                 line = build_case(r_ratio, c_ratio, lt)
-                model = propagation_delay(line)
+                eq9 = propagation_delay(line)
                 sim = simulated_delay_50(
-                    line, route=route, n_segments=n_segments, backend=backend
+                    line, route=route, n_segments=n_segments,
+                    backend=backend, model=model,
                 )
-                error = 100.0 * abs(model - sim) / sim
+                error = 100.0 * abs(eq9 - sim) / sim
                 worst = max(worst, error)
                 rows.append(
                     (
@@ -74,7 +81,7 @@ def run(
                         c_ratio,
                         lt,
                         round(line.zeta, 4),
-                        round(model / PS, 1),
+                        round(eq9 / PS, 1),
                         round(sim / PS, 1),
                         round(error, 2),
                     )

@@ -103,6 +103,7 @@ class LintConfig:
         "spice/statespace.py",
         "spice/ladder.py",
         "spice/parser.py",
+        "rom/*.py",
         "topology/*.py",
         "tline/*.py",
         "analysis/bus.py",

@@ -1,0 +1,165 @@
+"""Evaluation-model tier selection: full MNA vs reduced-order.
+
+Mirrors the ``backend=`` plumbing of :mod:`repro.spice.backend`: every
+simulation entry point takes a ``model="full" | "reduced" | "auto"``
+request, validates it through :func:`resolve_model`, and records the
+tier that actually served the query as a :class:`ModelSelection` --
+the evidence object counterpart of
+:class:`~repro.spice.backend.BackendSelection`.  While instrumentation
+is enabled, each decision also lands in the metrics registry as the
+labeled counter ``rom.model_selected{model=,rule=}``, so ``--trace`` /
+``--metrics-out`` show exactly which tier answered each query and why.
+
+The three tiers:
+
+``full``
+    The existing trapezoidal / phasor MNA paths, untouched.  The
+    default everywhere, so all pre-existing numerics (and sweep cache
+    keys) are bit-for-bit unchanged.
+
+``reduced``
+    A PRIMA-style projection (:mod:`repro.rom.prima`) of order
+    ``q << n`` answers the query from a dense ``q x q`` model.  No
+    fallback: a failed projection raises.
+
+``auto``
+    Picks the cheapest adequate tier: full for small systems (at or
+    below :data:`ROM_SIZE_CUTOFF` unknowns the full solve is already
+    cheap), reduced otherwise -- *unless* the pinned a-posteriori
+    error checks (build-time moment matching, per-query residual /
+    order-convergence estimates) exceed
+    :data:`DEFAULT_ERROR_BOUND` (or the caller's
+    ``rom_error_bound``), in which case the query falls back to full
+    MNA and the fallback is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import ParameterError
+
+__all__ = [
+    "MODELS",
+    "DEFAULT_ERROR_BOUND",
+    "ROM_SIZE_CUTOFF",
+    "ModelSelection",
+    "resolve_model",
+    "record_model_selection",
+]
+
+#: The selectable evaluation-model tiers.
+MODELS = ("full", "reduced", "auto")
+
+#: Relative error bound that ``model="auto"`` holds reduced answers to
+#: before falling back to full MNA.  The bound is compared against the
+#: *largest* of the pinned a-posteriori estimates (build-time moment
+#: mismatch, frequency-domain relative residual, order-convergence
+#: defect); 5e-3 keeps 50% delay errors comfortably under the 1%
+#: acceptance target.
+DEFAULT_ERROR_BOUND = 5e-3
+
+#: Systems at or below this many MNA unknowns stay on the full tier
+#: under ``model="auto"``: the full factorization is already cheap and
+#: a projection would only add build cost.
+ROM_SIZE_CUTOFF = 256
+
+
+@dataclass(frozen=True)
+class ModelSelection:
+    """Which evaluation tier served a query, and the evidence why.
+
+    The :class:`~repro.spice.backend.BackendSelection` counterpart for
+    model tiers: attached to reduced systems
+    (:attr:`repro.rom.prima.ReducedSystem.selection`), surfaced in
+    their ``repr``, and recorded as the
+    ``rom.model_selected{model=,rule=}`` counter while instrumentation
+    is enabled.
+
+    Attributes
+    ----------
+    model:
+        The tier that actually answered: ``"full"`` or ``"reduced"``.
+    rule:
+        Which decision rule fired: ``"explicit"`` (the caller named the
+        tier), ``"auto-small-system"`` (full; system at or below the
+        size cutoff), ``"auto-within-bound"`` (reduced; every error
+        estimate under the bound), ``"auto-error-fallback"`` (full; an
+        estimate exceeded the bound) or ``"auto-build-fallback"``
+        (full; the projection itself failed, e.g. a singular DC
+        matrix).
+    size:
+        Full MNA unknown count of the deciding system.
+    order:
+        Reduced order ``q`` that was used or evaluated; ``None`` when
+        no projection was attempted.
+    error_estimate, error_bound:
+        The worst a-posteriori error estimate and the bound it was
+        compared against; ``None`` when the rule decided without one.
+    """
+
+    model: str
+    rule: str
+    size: int
+    order: int | None = None
+    error_estimate: float | None = None
+    error_bound: float | None = None
+
+    def reason(self) -> str:
+        """One-line human-readable justification of the choice."""
+        if self.rule == "explicit":
+            return f"model={self.model!r} requested explicitly"
+        if self.rule == "auto-small-system":
+            return f"n={self.size} <= reduced-order cutoff {ROM_SIZE_CUTOFF}"
+        if self.rule == "auto-build-fallback":
+            return f"n={self.size}, projection build failed -> full MNA"
+        comparison = "<=" if self.rule == "auto-within-bound" else ">"
+        return (
+            f"n={self.size}, order {self.order}, error estimate "
+            f"{self.error_estimate:.2e} {comparison} bound {self.error_bound:g}"
+        )
+
+    def __repr__(self) -> str:
+        return f"ModelSelection({self.reason()} -> {self.model})"
+
+
+def resolve_model(model: str) -> str:
+    """Validate and normalize an evaluation-model request.
+
+    Accepts ``"full"``, ``"reduced"`` or ``"auto"`` (case-insensitive)
+    and returns the lowercase name; anything else raises
+    :class:`~repro.errors.ParameterError` naming the known tiers.  The
+    shared entry-point resolver: :func:`~repro.spice.transient.simulate_transient`
+    / ``_batch``, :func:`~repro.spice.ac.ac_sweep` / ``_batch``,
+    :func:`~repro.core.simulate.simulated_delay_50` / ``_batch``, the
+    sweep runner's option validation and both CLIs all route through
+    this one function.
+    """
+    if not isinstance(model, str):
+        raise ParameterError(
+            f"model must be one of {', '.join(MODELS)}, got {model!r}"
+        )
+    name = model.lower()
+    if name not in MODELS:
+        known = ", ".join(MODELS)
+        raise ParameterError(
+            f"unknown evaluation model {model!r}; known: {known}"
+        )
+    return name
+
+
+def record_model_selection(selection: ModelSelection, n: int = 1) -> ModelSelection:
+    """Record a tier decision in the metrics registry; returns it.
+
+    Increments ``rom.model_selected{model=,rule=}`` by ``n`` (one per
+    query -- batch entry points count every point they served) and, for
+    fallbacks, ``rom.fallbacks{rule=}``.  A no-op while instrumentation
+    is disabled.
+    """
+    obs.inc(
+        "rom.model_selected", n, model=selection.model, rule=selection.rule
+    )
+    if selection.rule in ("auto-error-fallback", "auto-build-fallback"):
+        obs.inc("rom.fallbacks", n, rule=selection.rule)
+    return selection

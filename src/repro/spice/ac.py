@@ -77,6 +77,9 @@ def ac_sweep(
     omegas,
     input_source: str | None = None,
     backend: SimulationBackend | str = "auto",
+    model: str = "full",
+    rom_order: int | None = None,
+    rom_error_bound: float | None = None,
 ) -> AcResult:
     """Run an AC sweep over angular frequencies ``omegas``.
 
@@ -96,14 +99,44 @@ def ac_sweep(
         ``"sparse"``, ``"banded"``, or a
         :class:`~repro.spice.backend.SimulationBackend` instance),
         shared by every frequency point.
+    model:
+        Evaluation-model tier: ``"full"`` (default; per-frequency
+        factorizations of ``G + j*omega*C``), ``"reduced"`` (phasor
+        solves on a PRIMA projection, see :mod:`repro.rom`), or
+        ``"auto"`` (reduced for large systems when the exact relative
+        residual at probe frequencies of the sweep stays under
+        ``rom_error_bound``, full otherwise; the decision is recorded
+        as a :class:`~repro.rom.model.ModelSelection`).
+    rom_order:
+        Reduced order ``q`` for the non-full tiers (default
+        :data:`repro.rom.prima.DEFAULT_ORDER`).
+    rom_error_bound:
+        Residual bound the ``"auto"`` tier enforces before serving a
+        reduced answer (default
+        :data:`repro.rom.model.DEFAULT_ERROR_BOUND`).
     """
+    from repro.rom.model import resolve_model
+
+    model = resolve_model(model)
     omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
     with obs.span("ac.sweep", frequencies=omegas.size) as sp:
         system = build_mna(circuit)
 
         input_source = _resolve_input_source(circuit, input_source)
+        input_row = system.current_row(input_source)
+        if model != "full":
+            from repro.rom.model import record_model_selection
+
+            result, selection = _ac_reduced_scalar(
+                system, omegas, input_row, backend,
+                model, rom_order, rom_error_bound,
+            )
+            record_model_selection(selection)
+            sp.set(model=selection.model, model_rule=selection.rule)
+            if result is not None:
+                return result
         b = np.zeros(system.size, dtype=complex)
-        b[system.current_row(input_source)] = 1.0
+        b[input_row] = 1.0
 
         # The sparsity pattern of G + jwC is the same at every frequency;
         # resolve the backend once on the union pattern, and reuse the
@@ -148,6 +181,91 @@ def _resolve_input_source(circuit: Circuit, input_source: str | None) -> str:
     if input_source not in {e.name for e in v_sources}:
         raise NetlistError(f"no voltage source named {input_source!r}")
     return input_source
+
+
+def _probe_indices(n_freqs: int, limit: int = 8) -> np.ndarray:
+    """Evenly spread probe indices into a frequency grid (ends included)."""
+    if n_freqs <= limit:
+        return np.arange(n_freqs, dtype=np.intp)
+    return np.unique(np.linspace(0, n_freqs - 1, limit).astype(np.intp))
+
+
+def _ac_reduced_scalar(
+    system,
+    omegas: np.ndarray,
+    input_row: int,
+    backend,
+    model: str,
+    rom_order: int | None,
+    rom_error_bound: float | None,
+):
+    """Serve one AC sweep from the reduced tier, or decline.
+
+    Returns ``(result, selection)``.  ``result`` is ``None`` when the
+    sweep must run on the full phasor path instead: ``model="auto"``
+    declines for small systems, failed projection builds, or residuals
+    over the bound (all recorded in the selection's rule), while
+    ``model="reduced"`` propagates build/solve errors to the caller.
+    The error estimate is the exact relative residual
+    ``||(G + jw C) V z - e_input||`` evaluated at up to 8 probe
+    frequencies spread across the sweep itself (sparse matvecs only,
+    see :meth:`~repro.rom.prima.ReducedSystem.ac_residuals`).
+    """
+    from repro import rom as rom_pkg
+
+    n = system.size
+    bound = (
+        rom_pkg.DEFAULT_ERROR_BOUND
+        if rom_error_bound is None
+        else float(rom_error_bound)
+    )
+    if model == "auto" and n <= rom_pkg.ROM_SIZE_CUTOFF:
+        return None, rom_pkg.ModelSelection("full", "auto-small-system", n)
+    try:
+        reduced = rom_pkg.prima_reduce(system, order=rom_order, backend=backend)
+    except SimulationError:
+        if model == "auto":
+            return None, rom_pkg.ModelSelection("full", "auto-build-fallback", n)
+        raise
+    try:
+        z = reduced.ac(input_row, omegas)
+        states = reduced.reconstruct(z)
+        probes = _probe_indices(omegas.size)
+        estimate = float(
+            np.max(reduced.ac_residuals(input_row, omegas[probes], z[probes]))
+        )
+        if not np.isfinite(estimate):
+            raise SimulationError(
+                "non-finite reduced AC residual; fall back to model='full'"
+            )
+    except SimulationError:
+        if model == "auto":
+            return None, rom_pkg.ModelSelection(
+                "full", "auto-error-fallback", n, order=reduced.order,
+                error_estimate=float("inf"), error_bound=bound,
+            )
+        raise
+    if model == "auto" and not estimate <= bound:
+        return None, rom_pkg.ModelSelection(
+            "full", "auto-error-fallback", n, order=reduced.order,
+            error_estimate=estimate, error_bound=bound,
+        )
+    selection = rom_pkg.ModelSelection(
+        "reduced",
+        "explicit" if model == "reduced" else "auto-within-bound",
+        n,
+        order=reduced.order,
+        error_estimate=estimate,
+        error_bound=bound,
+    )
+    reduced.selection = selection
+    result = AcResult(
+        omegas=omegas,
+        states=states,
+        node_index=dict(system.node_index),
+        branch_index=dict(system.branch_index),
+    )
+    return result, selection
 
 
 @dataclass(frozen=True)
@@ -215,6 +333,9 @@ def ac_sweep_batch(
     input_source: str | None = None,
     backend: SimulationBackend | str = "auto",
     record: Sequence | None = None,
+    model: str = "full",
+    rom_order: int | None = None,
+    rom_error_bound: float | None = None,
 ) -> AcBatchResult:
     """Run an AC sweep over a batch of structure-identical circuits.
 
@@ -246,13 +367,23 @@ def ac_sweep_batch(
     record:
         Optional node names (or MNA row indices) to record; ``None``
         records every unknown.
+    model, rom_order, rom_error_bound:
+        Evaluation-model tier, as in :func:`ac_sweep`.  The reduced
+        tier composes with the template split: the projection is built
+        once per structure (cached across calls, enriched at the value
+        box corners), every ``(point, frequency)`` pair is a dense
+        ``q x q`` phasor solve, and under ``model="auto"`` individual
+        points whose nested-suborder convergence defect exceeds the
+        bound are transparently re-run on the full path.
     """
+    from repro.rom.model import resolve_model
     from repro.spice.transient import _param_columns, _recorded_rows
 
     if not isinstance(template, CircuitTemplate):
         raise ParameterError(
             f"ac_sweep_batch needs a CircuitTemplate, got {template!r}"
         )
+    model = resolve_model(model)
     omegas = np.atleast_1d(np.asarray(omegas, dtype=float))
     structure, columns, n_points = _param_columns(template, params)
 
@@ -260,46 +391,25 @@ def ac_sweep_batch(
         "ac.batch", points=n_points, frequencies=omegas.size
     ) as sp:
         input_source = _resolve_input_source(template.circuit, input_source)
-        b = np.zeros(structure.size, dtype=complex)
-        b[structure.current_row(input_source)] = 1.0
+        input_row = structure.current_row(input_source)
+        rec_rows = _recorded_rows(structure, record)
+        if model != "full":
+            reduced_result = _ac_batch_reduced(
+                structure, columns, n_points, omegas, input_row, backend,
+                rec_rows, model, rom_order, rom_error_bound, sp,
+            )
+            if reduced_result is not None:
+                return reduced_result
 
-        g_data, c_data = structure.revalue_many(columns)
-        pattern = structure.combined_pattern()
-        backend = resolve_backend(backend, pattern.scaled(1.0 + 0.0j))
-        factorizer = backend.factorizer(pattern)
-        sp.set(n=structure.size, backend=backend.name)
+        states, backend_name, shared_reuse = _ac_batch_full_states(
+            structure, columns, omegas, input_row, backend, rec_rows
+        )
+        sp.set(n=structure.size, backend=backend_name)
         obs.inc("spice.ac.batch_runs")
         obs.inc("spice.ac.batch_points", n_points)
         obs.observe(
             "spice.ac.batch_width", n_points, buckets=obs.COUNT_BUCKETS
         )
-
-        rec_rows = _recorded_rows(structure, record)
-        states = np.empty((n_points, omegas.size, rec_rows.size), dtype=complex)
-
-        # Points with identical revalued data share their whole sweep.
-        # Reuse is tallied locally and reported once after the loop so
-        # the per-point path stays free of instrumentation (OBS001).
-        seen: dict[bytes, int] = {}
-        shared_reuse = 0
-        for j in range(n_points):
-            key = g_data[j].tobytes() + c_data[j].tobytes()
-            first = seen.setdefault(key, j)
-            if first != j:
-                states[j] = states[first]
-                shared_reuse += 1
-                continue
-            g_j = g_data[j].astype(complex)
-            c_j = c_data[j]
-            for k, w in enumerate(omegas):
-                data = np.concatenate([g_j, 1j * w * c_j])
-                try:
-                    x = factorizer.refactorize(data).solve(b)
-                except SimulationError as exc:
-                    raise SimulationError(
-                        f"singular AC system at omega = {w:g} (batch point {j})"
-                    ) from exc
-                states[j, k] = x[rec_rows]
         if shared_reuse:
             obs.inc("spice.ac.shared_sweep_reuse", shared_reuse)
         return AcBatchResult(
@@ -308,3 +418,237 @@ def ac_sweep_batch(
             structure=structure,
             recorded_rows=tuple(int(r) for r in rec_rows),
         )
+
+
+def _ac_batch_full_states(
+    structure: MnaStructure,
+    columns,
+    omegas: np.ndarray,
+    input_row: int,
+    backend,
+    rec_rows: np.ndarray,
+) -> tuple[np.ndarray, str, int]:
+    """Full-MNA per-point AC spectra for one value batch.
+
+    The revalue / per-point phasor loop shared by the ``model="full"``
+    path of :func:`ac_sweep_batch` and the per-point fallback of the
+    ``"auto"`` tier.  Returns ``(states, backend_name, shared_reuse)``
+    with ``states`` of shape ``(B, F, R)``; the shared-sweep reuse
+    count is tallied locally and reported by the caller so the
+    per-point path stays free of instrumentation (OBS001).
+    """
+    g_data, c_data = structure.revalue_many(columns)
+    n_points = g_data.shape[0]
+    pattern = structure.combined_pattern()
+    backend = resolve_backend(backend, pattern.scaled(1.0 + 0.0j))
+    factorizer = backend.factorizer(pattern)
+    b = np.zeros(structure.size, dtype=complex)
+    b[input_row] = 1.0
+
+    states = np.empty((n_points, omegas.size, rec_rows.size), dtype=complex)
+    seen: dict[bytes, int] = {}
+    shared_reuse = 0
+    for j in range(n_points):
+        key = g_data[j].tobytes() + c_data[j].tobytes()
+        first = seen.setdefault(key, j)
+        if first != j:
+            states[j] = states[first]
+            shared_reuse += 1
+            continue
+        g_j = g_data[j].astype(complex)
+        c_j = c_data[j]
+        for k, w in enumerate(omegas):
+            data = np.concatenate([g_j, 1j * w * c_j])
+            try:
+                x = factorizer.refactorize(data).solve(b)
+            except SimulationError as exc:
+                raise SimulationError(
+                    f"singular AC system at omega = {w:g} (batch point {j})"
+                ) from exc
+            states[j, k] = x[rec_rows]
+    return states, backend.name, shared_reuse
+
+
+def _ac_batch_solve(
+    gq: np.ndarray, cq: np.ndarray, vq: np.ndarray, omegas: np.ndarray
+) -> np.ndarray:
+    """Stacked reduced phasor solves, one frequency at a time.
+
+    ``gq``/``cq`` are ``(B, q, q)`` projected matrices, ``vq`` the
+    shared projected stimulus ``(q,)``.  Looping over frequencies keeps
+    the working set at one ``(B, q, q)`` complex block instead of
+    materializing all ``B * F`` systems at once.  Returns reduced
+    states of shape ``(B, F, q)``.
+    """
+    n_points, q = gq.shape[0], gq.shape[1]
+    z = np.empty((n_points, omegas.size, q), dtype=complex)
+    rhs = np.broadcast_to(vq, (n_points, q))[:, :, None]
+    for k, w in enumerate(omegas):
+        try:
+            z[:, k, :] = np.linalg.solve(gq + 1j * w * cq, rhs)[:, :, 0]
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(
+                f"singular reduced AC system at omega = {w:g}"
+            ) from exc
+    return z
+
+
+def _ac_batch_reduced(
+    structure: MnaStructure,
+    columns,
+    n_points: int,
+    omegas: np.ndarray,
+    input_row: int,
+    backend,
+    rec_rows: np.ndarray,
+    model: str,
+    rom_order: int | None,
+    rom_error_bound: float | None,
+    sp,
+):
+    """Serve a batched AC sweep from the reduced tier, or decline.
+
+    Returns an :class:`AcBatchResult`, or ``None`` when the whole
+    batch must run on the full path (``model="auto"`` on a small
+    system or after a failed projection build).  The projection comes
+    from :func:`repro.rom.prima.cached_reduced_template` at the value
+    box midpoint, Krylov-enriched at the box corners, so repeated
+    sweeps over one structure pay the build once; per-point projected
+    matrices are ``O(groups * q^2)`` revaluations.  Under
+    ``model="auto"`` each point's nested-suborder convergence defect
+    (folded with the build-time moment error) gates the reduced
+    answer, and points over the bound are transparently re-run through
+    the full phasor loop and merged back.
+    """
+    from repro import rom as rom_pkg
+    from repro.rom.model import record_model_selection
+
+    size = structure.size
+    bound = (
+        rom_pkg.DEFAULT_ERROR_BOUND
+        if rom_error_bound is None
+        else float(rom_error_bound)
+    )
+    if model == "auto" and size <= rom_pkg.ROM_SIZE_CUTOFF:
+        record_model_selection(
+            rom_pkg.ModelSelection("full", "auto-small-system", size), n_points
+        )
+        sp.set(model="full", model_rule="auto-small-system")
+        return None
+
+    nominal, samples = rom_pkg.corner_samples(columns)
+    try:
+        reduced_template = rom_pkg.cached_reduced_template(
+            structure, rom_order, nominal, backend=backend,
+            sample_params=samples,
+        )
+    except SimulationError:
+        if model == "auto":
+            record_model_selection(
+                rom_pkg.ModelSelection("full", "auto-build-fallback", size),
+                n_points,
+            )
+            sp.set(model="full", model_rule="auto-build-fallback")
+            return None
+        raise
+
+    rom = reduced_template.rom
+    q = rom.order
+    gq, cq = reduced_template.reduce_many(columns)
+    vq = rom.projected_unit_rhs(input_row).astype(complex)
+    try:
+        z = _ac_batch_solve(gq, cq, vq, omegas)
+    except SimulationError:
+        if model == "auto":
+            record_model_selection(
+                rom_pkg.ModelSelection(
+                    "full", "auto-error-fallback", size, order=q,
+                    error_estimate=float("inf"), error_bound=bound,
+                ),
+                n_points,
+            )
+            sp.set(model="full", model_rule="auto-error-fallback")
+            return None
+        raise
+    rec_basis = rom.basis[rec_rows]
+    states = z @ rec_basis.T
+    sp.set(n=size, order=q)
+
+    if model == "reduced":
+        if not np.all(np.isfinite(states)):
+            raise SimulationError(
+                "reduced batched AC solution is non-finite; raise rom_order "
+                "or use model='full'"
+            )
+        selection = rom_pkg.ModelSelection(
+            "reduced", "explicit", size, order=q,
+            error_estimate=rom.moment_error, error_bound=bound,
+        )
+        rom.selection = selection
+        record_model_selection(selection, n_points)
+        sp.set(model="reduced", model_rule="explicit")
+        return AcBatchResult(
+            omegas=omegas,
+            states=states,
+            structure=structure,
+            recorded_rows=tuple(int(r) for r in rec_rows),
+        )
+
+    # model == "auto": per-point nested-suborder convergence defect
+    # (re-answering the sweep with the weakest basis direction removed
+    # stays entirely in q-space), folded with the build-time moment
+    # error unless the basis is snapshot-enriched.
+    base_error = 0.0 if rom.snapshot_enriched else rom.moment_error
+    estimates = np.full(n_points, base_error)
+    q2 = rom.suborder()
+    if q2 < q:
+        try:
+            z2 = _ac_batch_solve(
+                gq[:, :q2, :q2], cq[:, :q2, :q2], vq[:q2], omegas
+            )
+            diff = np.max(np.abs(states - z2 @ rec_basis[:, :q2].T), axis=(1, 2))
+            denom = np.max(np.abs(states), axis=(1, 2))
+            defect = diff / np.where(denom > 0.0, denom, 1.0)
+            estimates = np.maximum(estimates, defect)
+        except SimulationError:
+            estimates[:] = np.inf
+    finite = np.all(np.isfinite(states), axis=(1, 2))
+    estimates = np.where(finite, estimates, np.inf)
+
+    bad = ~(estimates <= bound)
+    n_bad = int(np.count_nonzero(bad))
+    n_ok = n_points - n_bad
+    if n_ok:
+        selection = rom_pkg.ModelSelection(
+            "reduced", "auto-within-bound", size, order=q,
+            error_estimate=float(np.max(estimates[~bad])), error_bound=bound,
+        )
+        rom.selection = selection
+        record_model_selection(selection, n_ok)
+    if n_bad:
+        worst = float(np.max(estimates[bad]))
+        record_model_selection(
+            rom_pkg.ModelSelection(
+                "full", "auto-error-fallback", size, order=q,
+                error_estimate=worst, error_bound=bound,
+            ),
+            n_bad,
+        )
+        sub_columns = {name: col[bad] for name, col in columns.items()}
+        full_states, _backend_name, shared_reuse = _ac_batch_full_states(
+            structure, sub_columns, omegas, input_row, backend, rec_rows
+        )
+        states[bad] = full_states
+        if shared_reuse:
+            obs.inc("spice.ac.shared_sweep_reuse", shared_reuse)
+    sp.set(
+        model="reduced" if n_ok else "full",
+        model_rule="auto-within-bound" if n_ok else "auto-error-fallback",
+        rom_fallbacks=n_bad,
+    )
+    return AcBatchResult(
+        omegas=omegas,
+        states=states,
+        structure=structure,
+        recorded_rows=tuple(int(r) for r in rec_rows),
+    )

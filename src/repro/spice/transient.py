@@ -153,6 +153,9 @@ def simulate_transient(
     initial: str | np.ndarray = "dc",
     t_start: float = 0.0,
     backend: SimulationBackend | str = "auto",
+    model: str = "full",
+    rom_order: int | None = None,
+    rom_error_bound: float | None = None,
 ) -> TransientResult:
     """Run a fixed-step transient analysis.
 
@@ -179,6 +182,20 @@ def simulate_transient(
         banded or sparse from the system's size and bandwidth), one of
         ``"dense"``/``"sparse"``/``"banded"``, or a
         :class:`~repro.spice.backend.SimulationBackend` instance.
+    model:
+        Evaluation-model tier: ``"full"`` (default; the exact MNA path),
+        ``"reduced"`` (answer from a PRIMA-style projection of order
+        ``rom_order``, see :mod:`repro.rom`), or ``"auto"`` (reduced for
+        large systems when the a-posteriori error estimate stays under
+        ``rom_error_bound``, full otherwise; the decision is recorded as
+        a :class:`~repro.rom.model.ModelSelection`).
+    rom_order:
+        Reduced order ``q`` for the non-full tiers (default
+        :data:`repro.rom.prima.DEFAULT_ORDER`).
+    rom_error_bound:
+        Error bound the ``"auto"`` tier enforces before serving a
+        reduced answer (default
+        :data:`repro.rom.model.DEFAULT_ERROR_BOUND`).
 
     Returns
     -------
@@ -198,9 +215,23 @@ def simulate_transient(
         raise ParameterError(f"dt must be positive and finite, got {dt}")
     if t_stop <= t_start:
         raise ParameterError("t_stop must exceed t_start")
+    from repro.rom.model import resolve_model
+
+    model = resolve_model(model)
 
     with obs.span("transient.simulate", method=method.value) as sp:
         system = build_mna(circuit)
+        if model != "full":
+            from repro.rom.model import record_model_selection
+
+            result, selection = _transient_reduced_scalar(
+                system, t_stop, dt, method, initial, t_start, backend,
+                model, rom_order, rom_error_bound,
+            )
+            record_model_selection(selection)
+            sp.set(model=selection.model, model_rule=selection.rule)
+            if result is not None:
+                return result
         times = _time_grid(t_start, t_stop, dt)
         n_steps = times.size - 1
         dt_eff = (t_stop - t_start) / n_steps
@@ -251,6 +282,84 @@ def simulate_transient(
                 "transient solution diverged (non-finite values); reduce dt"
             )
         return TransientResult(times=times, states=x, system=system)
+
+
+def _transient_reduced_scalar(
+    system: MnaSystem,
+    t_stop: float,
+    dt: float,
+    method: IntegrationMethod,
+    initial,
+    t_start: float,
+    backend,
+    model: str,
+    rom_order: int | None,
+    rom_error_bound: float | None,
+):
+    """Serve one transient query from the reduced tier, or decline.
+
+    Returns ``(result, selection)``.  ``result`` is ``None`` when the
+    query must run on the full path instead: ``model="auto"`` declines
+    for small systems, failed projection builds, or error estimates
+    over the bound (all recorded in the selection's rule), while
+    ``model="reduced"`` propagates build/solve errors to the caller.
+    The error estimate folds the build-time moment defect with the
+    nested-suborder convergence defect of the integrated waveforms.
+    """
+    from repro import rom as rom_pkg
+
+    n = system.size
+    bound = (
+        rom_pkg.DEFAULT_ERROR_BOUND
+        if rom_error_bound is None
+        else float(rom_error_bound)
+    )
+    if model == "auto" and n <= rom_pkg.ROM_SIZE_CUTOFF:
+        return None, rom_pkg.ModelSelection("full", "auto-small-system", n)
+    try:
+        reduced = rom_pkg.prima_reduce(system, order=rom_order, backend=backend)
+    except SimulationError:
+        if model == "auto":
+            return None, rom_pkg.ModelSelection("full", "auto-build-fallback", n)
+        raise
+    try:
+        times, z = reduced.transient(
+            t_stop, dt, method=method, initial=initial, t_start=t_start
+        )
+        states = reduced.reconstruct(z)
+        estimate = reduced.moment_error
+        q2 = reduced.suborder()
+        if q2 < reduced.order:
+            _, z2 = reduced.transient(
+                t_stop, dt, method=method, initial=initial,
+                t_start=t_start, order=q2,
+            )
+            defect = float(np.max(np.abs(states - reduced.reconstruct(z2))))
+            denom = float(np.max(np.abs(states)))
+            estimate = max(estimate, defect / (denom if denom > 0.0 else 1.0))
+    except SimulationError:
+        if model == "auto":
+            return None, rom_pkg.ModelSelection(
+                "full", "auto-error-fallback", n, order=reduced.order,
+                error_estimate=float("inf"), error_bound=bound,
+            )
+        raise
+    if model == "auto" and not estimate <= bound:
+        return None, rom_pkg.ModelSelection(
+            "full", "auto-error-fallback", n, order=reduced.order,
+            error_estimate=estimate, error_bound=bound,
+        )
+    selection = rom_pkg.ModelSelection(
+        "reduced",
+        "explicit" if model == "reduced" else "auto-within-bound",
+        n,
+        order=reduced.order,
+        error_estimate=estimate,
+        error_bound=bound,
+    )
+    reduced.selection = selection
+    result = TransientResult(times=times, states=states, system=system)
+    return result, selection
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +506,9 @@ def simulate_transient_batch(
     t_start: float = 0.0,
     backend: SimulationBackend | str = "auto",
     record: Sequence | None = None,
+    model: str = "full",
+    rom_order: int | None = None,
+    rom_error_bound: float | None = None,
 ) -> TransientBatchResult:
     """Step a batch of structure-identical circuits in lockstep.
 
@@ -434,6 +546,13 @@ def simulate_transient_batch(
         record; ``None`` records every unknown.  Recording only the
         probed nodes keeps the result at ``O(B * n_steps)`` memory for
         large systems.
+    model, rom_order, rom_error_bound:
+        Evaluation-model tier, as in :func:`simulate_transient`.  The
+        reduced tier composes with the template split: the projection
+        is built once (and cached across chunked calls), each value
+        point pays only ``O(groups * q^2)`` projected revaluation, and
+        under ``model="auto"`` individual points whose error estimate
+        exceeds the bound are transparently re-run on the full path.
 
     Notes
     -----
@@ -476,9 +595,21 @@ def simulate_transient_batch(
         for j in range(n_points):
             times[j] = np.linspace(t_start, float(t_stop[j]), n_steps + 1)
 
+    from repro.rom.model import resolve_model
+
+    model = resolve_model(model)
+
     with obs.span(
         "transient.batch", points=n_points, steps=n_steps, method=method.value
     ) as sp:
+        if model != "full":
+            reduced_result = _transient_batch_reduced(
+                template, structure, columns, n_points, times, dt_eff,
+                t_stop, dt, method, initial, t_start, backend, record,
+                model, rom_order, rom_error_bound, sp,
+            )
+            if reduced_result is not None:
+                return reduced_result
         g_data, c_data = structure.revalue_many(columns)
         pattern = structure.combined_pattern()
         backend = resolve_backend(backend, pattern)
@@ -581,6 +712,209 @@ def simulate_transient_batch(
             structure=structure,
             recorded_rows=tuple(int(r) for r in rec_rows),
         )
+
+
+def _transient_batch_reduced(
+    template,
+    structure: MnaStructure,
+    columns: dict,
+    n_points: int,
+    times: np.ndarray,
+    dt_eff: np.ndarray,
+    t_stop: np.ndarray,
+    dt: np.ndarray,
+    method: IntegrationMethod,
+    initial,
+    t_start: float,
+    backend,
+    record,
+    model: str,
+    rom_order: int | None,
+    rom_error_bound: float | None,
+    sp,
+):
+    """Serve a lockstep batch from the reduced tier, or decline.
+
+    Returns a :class:`TransientBatchResult`, or ``None`` when the whole
+    batch must run on the full path (``model="auto"`` on a small system
+    or after a failed projection build).  Under ``model="auto"``,
+    individual points whose a-posteriori error estimate exceeds the
+    bound are transparently re-run through
+    :func:`simulate_transient_batch` with ``model="full"`` and merged
+    back, so the caller always receives one result covering every
+    point.  The projection is resolved through
+    :func:`repro.rom.prima.cached_reduced_template`, so chunked sweeps
+    over the same structure pay the Arnoldi build once.
+    """
+    from repro import rom as rom_pkg
+    from repro.rom.model import record_model_selection
+
+    size = structure.size
+    bound = (
+        rom_pkg.DEFAULT_ERROR_BOUND
+        if rom_error_bound is None
+        else float(rom_error_bound)
+    )
+    if model == "auto" and size <= rom_pkg.ROM_SIZE_CUTOFF:
+        record_model_selection(
+            rom_pkg.ModelSelection("full", "auto-small-system", size), n_points
+        )
+        sp.set(model="full", model_rule="auto-small-system")
+        return None
+
+    # One basis serves the whole batch: project at the box midpoint and
+    # enrich so accuracy holds across the value range, not just near
+    # one point.  On a shared time grid the enrichment is POD-style --
+    # full-path transient trajectories at the box center and corners
+    # feed the basis (snapshots track strongly coupled structures far
+    # better per column than corner Krylov unions) -- and the snapshot
+    # collection cost is paid only on a projection-cache miss.
+    # Per-point grids keep the corner-Krylov enrichment instead.
+    nominal, samples = rom_pkg.corner_samples(columns)
+    sample_params: tuple = samples
+    snapshot_key = None
+    snapshot_builder = None
+    if samples and times.ndim == 1:
+        n_steps = times.shape[0] - 1
+        if isinstance(initial, np.ndarray):
+            init_tag = ("array", initial.shape, hash(initial.tobytes()))
+        else:
+            init_tag = initial
+        snapshot_key = (
+            samples, method.value, n_steps, float(t_stop[0]),
+            float(t_start), init_tag,
+        )
+        sample_params = ()
+        snap_points = [nominal] + [dict(point) for point in samples]
+
+        def snapshot_builder():
+            cols = {
+                name: np.asarray([point[name] for point in snap_points])
+                for name in nominal
+            }
+            per_point_initial = (
+                isinstance(initial, np.ndarray)
+                and initial.shape == (n_points, size)
+            )
+            result = simulate_transient_batch(
+                structure,
+                cols,
+                float(t_stop[0]),
+                (float(t_stop[0]) - t_start) / n_steps,
+                method=method,
+                initial="dc" if per_point_initial else initial,
+                t_start=t_start,
+                backend=backend,
+                model="full",
+            )
+            snaps = result.states.reshape(-1, size).T
+            if per_point_initial:
+                # Per-point start states cannot ride along the sample
+                # trajectories, so a spread of them joins the snapshot
+                # cloud directly (they are what z0 is projected from).
+                picks = np.unique(
+                    np.linspace(0, n_points - 1, 32).astype(np.intp)
+                )
+                snaps = np.hstack([snaps, initial[picks].T])
+            return snaps
+
+    try:
+        reduced_template = rom_pkg.cached_reduced_template(
+            structure, rom_order, nominal, backend=backend,
+            sample_params=sample_params,
+            snapshot_key=snapshot_key,
+            snapshot_builder=snapshot_builder,
+        )
+    except SimulationError:
+        if model == "auto":
+            record_model_selection(
+                rom_pkg.ModelSelection("full", "auto-build-fallback", size),
+                n_points,
+            )
+            sp.set(model="full", model_rule="auto-build-fallback")
+            return None
+        raise
+
+    rom = reduced_template.rom
+    rec_rows = _recorded_rows(structure, record)
+    states, estimates = rom_pkg.reduced_transient_batch(
+        reduced_template, columns, times, dt_eff, method, initial, rec_rows,
+        estimates=(model == "auto"),
+    )
+    sp.set(n=size, order=rom.order)
+
+    if model == "reduced":
+        if not np.all(np.isfinite(states)):
+            raise SimulationError(
+                "reduced batched transient solution diverged (non-finite "
+                "values); raise rom_order, reduce dt, or use model='full'"
+            )
+        selection = rom_pkg.ModelSelection(
+            "reduced", "explicit", size, order=rom.order,
+            error_estimate=rom.moment_error, error_bound=bound,
+        )
+        rom.selection = selection
+        record_model_selection(selection, n_points)
+        sp.set(model="reduced", model_rule="explicit")
+        return TransientBatchResult(
+            times=times,
+            states=states,
+            structure=structure,
+            recorded_rows=tuple(int(r) for r in rec_rows),
+        )
+
+    # model == "auto": points over the bound (or with non-finite
+    # estimates) fall back to the full path individually.
+    bad = ~(estimates <= bound)
+    n_bad = int(np.count_nonzero(bad))
+    n_ok = n_points - n_bad
+    if n_ok:
+        selection = rom_pkg.ModelSelection(
+            "reduced", "auto-within-bound", size, order=rom.order,
+            error_estimate=float(np.max(estimates[~bad])), error_bound=bound,
+        )
+        rom.selection = selection
+        record_model_selection(selection, n_ok)
+    if n_bad:
+        worst = float(np.max(estimates[bad]))
+        record_model_selection(
+            rom_pkg.ModelSelection(
+                "full", "auto-error-fallback", size, order=rom.order,
+                error_estimate=worst, error_bound=bound,
+            ),
+            n_bad,
+        )
+        sub_params = {name: col[bad] for name, col in columns.items()}
+        sub_initial = (
+            initial[bad]
+            if isinstance(initial, np.ndarray)
+            and initial.shape == (n_points, size)
+            else initial
+        )
+        full_result = simulate_transient_batch(
+            structure,
+            sub_params,
+            t_stop[bad],
+            dt[bad],
+            method=method,
+            initial=sub_initial,
+            t_start=t_start,
+            backend=backend,
+            record=record,
+            model="full",
+        )
+        states[bad] = full_result.states
+    sp.set(
+        model="reduced" if n_ok else "full",
+        model_rule="auto-within-bound" if n_ok else "auto-error-fallback",
+        rom_fallbacks=n_bad,
+    )
+    return TransientBatchResult(
+        times=times,
+        states=states,
+        structure=structure,
+        recorded_rows=tuple(int(r) for r in rec_rows),
+    )
 
 
 def _rhs_matrix(structure: MnaStructure, times: np.ndarray) -> np.ndarray:

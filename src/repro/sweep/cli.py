@@ -112,6 +112,21 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="MNA linear-solver backend (auto | dense | sparse | banded)",
     )
     parser.add_argument(
+        "--model",
+        help="evaluation-model tier for the MNA route "
+        "(full | reduced | auto)",
+    )
+    parser.add_argument(
+        "--rom-order",
+        type=int,
+        help="reduced order q for --model reduced/auto",
+    )
+    parser.add_argument(
+        "--rom-error-bound",
+        type=float,
+        help="error bound gating reduced answers under --model auto",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         help="worker-pool size for simulated sweeps (default: CPU count)",
@@ -236,6 +251,12 @@ def build_sweep(args: argparse.Namespace) -> Sweep:
         options["dt"] = args.dt
     if args.backend is not None:
         options["backend"] = args.backend
+    if args.model is not None:
+        options["model"] = args.model
+    if args.rom_order is not None:
+        options["rom_order"] = args.rom_order
+    if args.rom_error_bound is not None:
+        options["rom_error_bound"] = args.rom_error_bound
     return Sweep(args.quantity, grid, fixed, options)
 
 
@@ -314,6 +335,9 @@ def _run_netlist_sweep(args: argparse.Namespace) -> int:
         dt,
         backend=args.backend or "auto",
         record=[node],
+        model=args.model or "full",
+        rom_order=args.rom_order,
+        rom_error_bound=args.rom_error_bound,
     )
     rows = []
     for i in range(grid.size):

@@ -67,7 +67,10 @@ __all__ = [
 #: On-disk cache schema version (bumped on format changes).
 CACHE_SCHEMA_VERSION = 1
 
-_SIMULATOR_OPTIONS = ("route", "n_segments", "n_samples", "window", "dt", "backend")
+_SIMULATOR_OPTIONS = (
+    "route", "n_segments", "n_samples", "window", "dt", "backend",
+    "model", "rom_order", "rom_error_bound",
+)
 
 
 def _frozen_column(values, size: int) -> np.ndarray:
@@ -754,6 +757,11 @@ class SweepRunner:
                 # ("auto" needs a system matrix, so it is vetted by the
                 # simulation itself.)
                 resolve_backend(backend_name)
+            if "model" in options:
+                from repro.rom.model import resolve_model
+
+                # Same early vetting for the evaluation-model tier.
+                resolve_model(options["model"])
         elif options:
             raise ParameterError(
                 f"quantity {sweep.quantity!r} takes no options, "

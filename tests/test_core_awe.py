@@ -86,3 +86,37 @@ class TestFailureModes:
                 failed = True
                 break
         assert failed, "expected AWE to break down by order 9"
+
+    def test_every_order_returns_finite_or_raises(self):
+        """The ill-conditioning guards: any order up to well past the
+        breakdown either yields a finite, stable model or raises a
+        clear AnalysisError -- never NaN poles or silent garbage."""
+        line = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+        for q in range(1, 17):
+            try:
+                model = awe_reduce(line, q=q)
+            except AnalysisError as exc:
+                assert "order" in str(exc)
+                continue
+            assert np.all(np.isfinite(model.poles))
+            assert np.all(np.isfinite(model.residues))
+            assert model.is_stable
+
+    def test_condition_guard_names_the_failure(self):
+        """Deep into the breakdown the error message should point at
+        the Hankel conditioning (or the unstable-pole check), and the
+        documented valid range q ~ 1-8 should actually work up front."""
+        line = DriverLineLoad(rt=1000.0, lt=1e-6, ct=1e-12, rtr=100.0, cl=1e-13)
+        sim = simulated_delay_50(line, n_segments=100)
+        valid = 0
+        for q in range(1, 9):
+            try:
+                delay = awe_delay_50(line, q=q)
+            except AnalysisError:
+                continue
+            valid += 1
+            if q >= 2:  # q=1 is the single-pole Elmore-like estimate
+                assert abs(delay - sim) / sim < 0.10
+        assert valid >= 4
+        with pytest.raises(AnalysisError, match="condition|unstable|order"):
+            awe_reduce(line, q=20)
